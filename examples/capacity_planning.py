@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Capacity planning for a news-wire service: chopping, queueing theory,
+and adaptive control.
+
+A news wire pushes a 1000-article database.  Engineering wants to know:
+
+1. Should the cold archive be dropped from the broadcast and served
+   pull-only (the paper's Experiment 3)?  How does that interact with
+   pull bandwidth?
+2. What does textbook M/M/1/K queueing predict for the backchannel, and
+   how far off is it (the paper's Section 5 critique)?
+3. Can the server ride out a load spike by retuning itself (the paper's
+   future-work idea, implemented here as an adaptive controller)?
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+import sys
+
+from repro import Algorithm, SystemConfig
+from repro.analysis.queueing import MM1KQueue
+from repro.core.adaptive import AdaptiveController, AdaptivePolicy
+from repro.core.fast import FastEngine, simulate
+
+RUN = dict(run__settle_accesses=400, run__measure_accesses=900)
+
+
+def chopping_study() -> None:
+    print("1) Chop the archive? (ThinkTimeRatio=25, ThresPerc=35%)")
+    print(f"{'non-broadcast pages':>20} {'PullBW 30%':>11} {'PullBW 50%':>11}")
+    for chop in (0, 300, 500, 700):
+        row = [f"{chop:>20}"]
+        for pull_bw in (0.30, 0.50):
+            config = SystemConfig(algorithm=Algorithm.IPP).with_(
+                client__think_time_ratio=25,
+                server__pull_bw=pull_bw,
+                server__thresh_perc=0.35,
+                server__chop=chop,
+                **RUN)
+            row.append(f"{simulate(config).response_miss.mean:>11.1f}")
+        print(" ".join(row))
+    print("-> chopping pays off only when the pull slots can absorb the "
+          "extra misses.\n")
+
+
+def queueing_check() -> None:
+    print("2) Does M/M/1/K describe the backchannel? (PullBW=50%)")
+    print(f"{'TTR':>5} {'measured drop':>14} {'M/M/1/K blocking':>17}")
+    for ttr in (25, 75, 250):
+        config = SystemConfig(algorithm=Algorithm.IPP).with_(
+            client__think_time_ratio=ttr, server__pull_bw=0.50, **RUN)
+        result = simulate(config)
+        offered = result.vc_generated - result.vc_absorbed
+        lam = offered / result.measured_slots
+        model = MM1KQueue(lam, 0.50, config.server.queue_size)
+        print(f"{ttr:>5} {result.drop_rate:>14.2f} "
+              f"{model.blocking_probability:>17.2f}")
+    print("-> the real queue drops fewer requests than the memoryless "
+          "model predicts:\n   duplicate suppression serves whole groups "
+          "of clients with one slot,\n   exactly the paper's argument "
+          "against an M/M/1 analysis.\n")
+
+
+def adaptive_spike() -> None:
+    print("3) Riding a load spike with the adaptive controller "
+          "(future work, §6)")
+    heavy = SystemConfig(algorithm=Algorithm.IPP).with_(
+        client__think_time_ratio=200, server__pull_bw=0.50, **RUN)
+    static = simulate(heavy)
+    controller = AdaptiveController(
+        AdaptivePolicy(interval=2000, high_drop=0.05),
+        pull_bw=0.50, thresh_perc=0.0)
+    adaptive = FastEngine(heavy, controller=controller).run()
+    print(f"   static IPP (PullBW=50%, no threshold): "
+          f"{static.response_miss.mean:.1f} units, "
+          f"drop rate {static.drop_rate:.2f}")
+    print(f"   adaptive IPP: {adaptive.response_miss.mean:.1f} units, "
+          f"drop rate {adaptive.drop_rate:.2f}")
+    print(f"   controller settled at PullBW={controller.pull_bw:.0%}, "
+          f"ThresPerc={controller.thresh_perc:.0%} after "
+          f"{len(controller.trace)} adjustments")
+    return None
+
+
+def main() -> int:
+    chopping_study()
+    queueing_check()
+    adaptive_spike()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

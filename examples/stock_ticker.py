@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Stock ticker dissemination: tuning IPP and coping with niche interests.
+
+A quote server broadcasts 1000 symbols to a large trading-floor
+population.  Most clients track the same blue-chip symbols (the aggregate
+Zipf pattern the broadcast program is built for), but a derivatives desk
+tracks an unusual basket — its access pattern *disagrees* with the
+broadcast.  The paper models this disagreement with Noise (Section 4.1.4).
+
+This example:
+
+1. tunes IPP's PullBW/ThresPerc knobs for a mainstream client at the
+   floor's load level, and
+2. shows how the niche desk (Noise = 35%) fares under each algorithm —
+   including IPP's safety-net advantage over Pure-Pull when the server
+   saturates.
+
+Run:
+    python examples/stock_ticker.py
+"""
+
+import sys
+
+from repro import Algorithm, SystemConfig, simulate
+
+RUN = dict(run__settle_accesses=500, run__measure_accesses=1200)
+FLOOR_LOAD = 75.0  # a moderately saturated quote server
+
+
+def tune_ipp() -> None:
+    print(f"Tuning IPP at ThinkTimeRatio={FLOOR_LOAD:g} "
+          f"(mainstream client):")
+    print(f"{'PullBW':>7} {'ThresPerc':>10} {'miss RT':>9} {'drops':>7}")
+    best = None
+    for pull_bw in (0.3, 0.5):
+        for thresh in (0.0, 0.25, 0.35):
+            config = SystemConfig(algorithm=Algorithm.IPP).with_(
+                client__think_time_ratio=FLOOR_LOAD,
+                server__pull_bw=pull_bw,
+                server__thresh_perc=thresh,
+                **RUN)
+            result = simulate(config)
+            print(f"{pull_bw:>7.0%} {thresh:>10.0%} "
+                  f"{result.response_miss.mean:>9.1f} "
+                  f"{result.drop_rate:>7.2f}")
+            if best is None or result.response_miss.mean < best[0]:
+                best = (result.response_miss.mean, pull_bw, thresh)
+    assert best is not None
+    print(f"-> best knob setting here: PullBW={best[1]:.0%}, "
+          f"ThresPerc={best[2]:.0%} ({best[0]:.1f} broadcast units)\n")
+
+
+def niche_desk() -> None:
+    print("The derivatives desk (Noise=35%: its basket disagrees with the "
+          "broadcast):")
+    print(f"{'algorithm':<11} {'mainstream RT':>14} {'niche RT':>10} "
+          f"{'penalty':>8}")
+    for algorithm in (Algorithm.PURE_PUSH, Algorithm.PURE_PULL,
+                      Algorithm.IPP):
+        rts = []
+        for noise in (0.0, 0.35):
+            config = SystemConfig(algorithm=algorithm).with_(
+                client__think_time_ratio=FLOOR_LOAD,
+                client__noise=noise,
+                server__pull_bw=0.5,
+                server__thresh_perc=0.25,
+                **RUN)
+            rts.append(simulate(config).response_miss.mean)
+        penalty = rts[1] / rts[0]
+        print(f"{algorithm.value:<11} {rts[0]:>14.1f} {rts[1]:>10.1f} "
+              f"{penalty:>8.2f}x")
+    print("\nExpected shape (paper Figure 5): at this load the niche desk "
+          "pays most\nunder pull-only access, while the periodic broadcast "
+          "bounds how badly IPP\ncan treat it.")
+
+
+def main() -> int:
+    tune_ipp()
+    niche_desk()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

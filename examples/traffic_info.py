@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Advanced Traveler Information System: warm-up matters most.
+
+The paper motivates warm-up performance with ATIS (Section 4.1.3):
+"motorists join the 'system' when they drive within range of the
+information broadcast" — a driver entering coverage has an empty cache
+and wants useful data *now*.
+
+This example asks: for a road-segment information broadcast, how long
+does a newly arrived motorist wait to assemble the hot set of traffic
+pages, under each delivery algorithm, at rush hour (many cars) vs late
+night (few cars)?
+
+Run:
+    python examples/traffic_info.py
+"""
+
+import sys
+
+from repro import Algorithm, SystemConfig, simulate_warmup
+
+#: Traffic scenario: 400 road segments, compact receiver cache, and the
+#: broadcast carrying congestion/incident pages for the metro area.
+SCENARIO = dict(
+    client__cache_size=40,
+    server__db_size=400,
+    server__disk_sizes=(40, 160, 200),
+    server__queue_size=40,
+    server__pull_bw=0.50,
+    run__max_slots=30_000_000,
+)
+
+#: Late night vs rush hour, expressed as the load the rest of the
+#: motorist population puts on the uplink.
+LOADS = {"late night": 10.0, "rush hour": 250.0}
+
+#: The warm-up milestones to report (fractions of the hot set).
+MILESTONES = (0.5, 0.9)
+
+
+def warmup_report(algorithm: Algorithm, think_time_ratio: float) -> dict:
+    config = SystemConfig(algorithm=algorithm).with_(
+        client__think_time_ratio=think_time_ratio, **SCENARIO)
+    result = simulate_warmup(config)
+    assert result.warmup_times is not None
+    return result.warmup_times
+
+
+def main() -> int:
+    print("ATIS warm-up: broadcast units until a joining motorist holds "
+          "X% of the hot road segments\n")
+    for load_name, ratio in LOADS.items():
+        print(f"--- {load_name} (ThinkTimeRatio={ratio:g}) ---")
+        header = f"{'algorithm':<11}" + "".join(
+            f"{f'{m:.0%} warm':>12}" for m in MILESTONES)
+        print(header)
+        for algorithm in (Algorithm.PURE_PUSH, Algorithm.PURE_PULL,
+                          Algorithm.IPP):
+            times = warmup_report(algorithm, ratio)
+            cells = "".join(
+                f"{times.get(m, float('nan')):>12,.0f}" for m in MILESTONES)
+            print(f"{algorithm.value:<11}{cells}")
+        print()
+    print("Expected shape (paper Figure 4): pull-based warm-up wins late "
+          "at night;\nunder rush-hour saturation the ordering inverts and "
+          "the periodic broadcast\n(push) gets new arrivals warm fastest.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

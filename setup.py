@@ -1,0 +1,6 @@
+"""Legacy shim: the sandbox lacks the `wheel` package, so editable installs
+must go through setuptools' develop command (pip --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Analytical models: validation yardsticks and related-work comparisons.
+
+- :mod:`~repro.analysis.push_delay` — exact expected Pure-Push response
+  times from the schedule geometry (validates the simulators),
+- :mod:`~repro.analysis.queueing` — an M/M/1/K model of the backchannel,
+  the style of analysis of [Imie94c]/[Vish94] that the paper contrasts
+  with its finite-queue simulation,
+- :mod:`~repro.analysis.bandwidth` — square-root-rule broadcast frequency
+  allocation for disk-layout ablations,
+- :mod:`~repro.analysis.predictability` — footnote 2's broadcast
+  predictability / receiver doze-mode energy model.
+"""
+
+from repro.analysis.push_delay import (
+    expected_page_delay,
+    expected_push_response,
+    steady_cache_contents,
+)
+from repro.analysis.queueing import MM1KQueue
+from repro.analysis.bandwidth import square_root_frequencies, optimal_disk_split
+from repro.analysis.predictability import (
+    doze_fraction,
+    expected_awake_slots,
+    slot_predictability,
+)
+
+__all__ = [
+    "expected_page_delay",
+    "expected_push_response",
+    "steady_cache_contents",
+    "MM1KQueue",
+    "square_root_frequencies",
+    "optimal_disk_split",
+    "slot_predictability",
+    "expected_awake_slots",
+    "doze_fraction",
+]

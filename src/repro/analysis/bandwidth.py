@@ -1,0 +1,93 @@
+"""Broadcast bandwidth allocation theory for disk-layout ablations.
+
+The classic result for minimizing mean broadcast delay ([Amma85]/[Wong88],
+cited by the paper) is the *square-root rule*: page *i*'s share of the
+broadcast should be proportional to the square root of its access
+probability.  Broadcast Disks quantize this ideal into a few discrete
+"disks"; the helpers here compute the ideal allocation and search small
+disk partitions against it, powering the layout ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["square_root_frequencies", "ideal_mean_delay", "optimal_disk_split"]
+
+
+def square_root_frequencies(probabilities: Sequence[float]) -> np.ndarray:
+    """Ideal per-page bandwidth shares (sum to 1) — the square-root rule."""
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.ndim != 1 or probs.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D array")
+    if np.any(probs < 0):
+        raise ValueError("probabilities must be non-negative")
+    roots = np.sqrt(probs)
+    total = roots.sum()
+    if total == 0:
+        raise ValueError("at least one page needs positive probability")
+    return roots / total
+
+
+def ideal_mean_delay(probabilities: Sequence[float]) -> float:
+    """Lower bound on mean broadcast delay with perfectly even spacing.
+
+    A page granted share ``s`` of the bandwidth recurs every ``1/s`` slots;
+    evenly spaced, its expected wait is ``1/(2s)``.  With square-root
+    shares the overall bound is ``(Σ√p)² / 2``.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    return float(np.sqrt(probs).sum() ** 2 / 2.0)
+
+
+def _split_delay(probs: np.ndarray, sizes: tuple[int, ...],
+                 freqs: Sequence[int]) -> float:
+    """Mean delay of a disk partition under even-spacing approximation."""
+    boundaries = np.cumsum((0,) + sizes)
+    # Cycle length in "frequency-weighted" slots.
+    cycle = sum(size * freq for size, freq in zip(sizes, freqs))
+    delay = 0.0
+    for disk, freq in enumerate(freqs):
+        lo, hi = boundaries[disk], boundaries[disk + 1]
+        spacing = cycle / freq
+        delay += probs[lo:hi].sum() * spacing / 2.0
+    return float(delay)
+
+
+def optimal_disk_split(probabilities: Sequence[float],
+                       rel_freqs: Sequence[int],
+                       granularity: int = 25) -> tuple[tuple[int, ...], float]:
+    """Best disk sizes (hottest-first partition) for fixed frequencies.
+
+    Exhaustively searches partitions of the ranked pages into
+    ``len(rel_freqs)`` non-empty disks at multiples of ``granularity``
+    pages, scoring each with the even-spacing delay approximation.
+
+    Returns ``(disk_sizes, approx_mean_delay)``.
+    """
+    probs = np.sort(np.asarray(probabilities, dtype=np.float64))[::-1]
+    num_pages = probs.size
+    num_disks = len(rel_freqs)
+    if num_disks < 1:
+        raise ValueError("need at least one disk")
+    if num_pages % granularity:
+        raise ValueError(
+            f"granularity {granularity} must divide the database size "
+            f"{num_pages}")
+    units = num_pages // granularity
+    if units < num_disks:
+        raise ValueError("granularity too coarse for this many disks")
+    best: tuple[tuple[int, ...], float] | None = None
+    # Compositions of `units` into num_disks positive parts.
+    for cuts in itertools.combinations(range(1, units), num_disks - 1):
+        sizes = tuple(
+            (b - a) * granularity
+            for a, b in zip((0,) + cuts, cuts + (units,)))
+        delay = _split_delay(probs, sizes, rel_freqs)
+        if best is None or delay < best[1]:
+            best = (sizes, delay)
+    assert best is not None
+    return best

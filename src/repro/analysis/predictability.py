@@ -1,0 +1,89 @@
+"""Broadcast predictability and receiver-energy implications.
+
+Footnote 2 of the paper: "Predictability may be important for certain
+environments.  For example, in mobile networks, predictability of the
+broadcast can be used to reduce power consumption [Imie94b]."
+
+A mobile client that can predict the slot carrying its next page sleeps
+(doze mode) through the rest of the broadcast.  Interleaving pull
+responses makes slots unpredictable: each slot is a pull with probability
+``PullBW`` (whenever the queue is busy), so the client must stay awake
+through an uncertain prefix.  These helpers quantify that tradeoff:
+
+- :func:`slot_predictability` — probability a given future program slot
+  appears exactly where the schedule says (no pulls intervene),
+- :func:`expected_awake_slots` — expected slots a doze-capable client
+  must listen for a page at program distance *d* (it wakes at the earliest
+  possible arrival and must then stay awake through the pull jitter),
+- :func:`doze_fraction` — long-run fraction of slots a client can doze
+  through under the two extremes of the paper (Pure-Push: everything but
+  its own pages; saturated IPP: nothing it can predict).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["slot_predictability", "expected_awake_slots", "doze_fraction"]
+
+
+def _validate(pull_bw: float, busy_fraction: float) -> float:
+    if not 0.0 <= pull_bw <= 1.0:
+        raise ValueError("pull_bw must be within [0, 1]")
+    if not 0.0 <= busy_fraction <= 1.0:
+        raise ValueError("busy_fraction must be within [0, 1]")
+    # A pull displaces a program slot only when the queue has work.
+    return pull_bw * busy_fraction
+
+
+def slot_predictability(distance: int, pull_bw: float,
+                        busy_fraction: float = 1.0) -> float:
+    """Probability the next ``distance`` program slots suffer no pull.
+
+    With per-slot pull probability ``q = pull_bw * busy_fraction``, the
+    page at program distance ``d`` arrives exactly on time iff none of
+    the ``d + 1`` slots up to and including its own is stolen:
+    ``(1 - q) ** (d + 1)``.
+    """
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    steal = _validate(pull_bw, busy_fraction)
+    return (1.0 - steal) ** (distance + 1)
+
+
+def expected_awake_slots(distance: int, pull_bw: float,
+                         busy_fraction: float = 1.0) -> float:
+    """Expected slots awake to catch a page at program distance ``d``.
+
+    The client sleeps until the earliest possible arrival (``d`` slots of
+    pure program), then listens until ``d + 1`` *program* slots have
+    actually elapsed.  Each program slot costs ``1 / (1 - q)`` real slots
+    in expectation under per-slot steal probability ``q``; the client is
+    awake for the last ``d + 1`` program slots' jitter plus its own
+    transmission — i.e. ``(d + 1) / (1 - q) - d`` slots.
+
+    With ``q = 0`` this is exactly 1 (wake for your own slot only); as
+    ``q -> 1`` it diverges — an unpredictable broadcast forces the
+    receiver to idle-listen, footnote 2's concern.
+    """
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    steal = _validate(pull_bw, busy_fraction)
+    if steal >= 1.0:
+        return math.inf
+    return (distance + 1) / (1.0 - steal) - distance
+
+
+def doze_fraction(distance: int, pull_bw: float,
+                  busy_fraction: float = 1.0) -> float:
+    """Fraction of the wait a doze-capable client sleeps through.
+
+    The total expected wait for the page is ``(d + 1) / (1 - q)`` slots;
+    the client is awake for :func:`expected_awake_slots` of them.
+    """
+    steal = _validate(pull_bw, busy_fraction)
+    if steal >= 1.0:
+        return 0.0
+    total = (distance + 1) / (1.0 - steal)
+    awake = expected_awake_slots(distance, pull_bw, busy_fraction)
+    return 1.0 - awake / total

@@ -1,0 +1,84 @@
+"""An M/M/1/K model of the backchannel queue.
+
+Related work ([Imie94c], [Vish94]) analyzed push/pull splits with an
+M/M/1 queue; the paper argues its environment "is not accurately captured
+by an M/M/1 queue" because requests and service times are not memoryless
+and the queue is bounded.  This module provides the bounded-queue
+(M/M/1/K) analogue so benchmarks can quantify exactly how far the
+simulated backchannel deviates from the memoryless idealization.
+
+Standard birth–death results: with offered load ``ρ = λ/μ`` and room for
+``K`` requests, the stationary occupancy is geometric and truncated; the
+blocking (drop) probability is the probability of finding the queue full.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MM1KQueue"]
+
+
+@dataclass(frozen=True)
+class MM1KQueue:
+    """Stationary M/M/1/K metrics for the backchannel.
+
+    Attributes:
+        arrival_rate: request arrivals per broadcast unit (λ).
+        service_rate: pull responses per broadcast unit (μ) — for a slotted
+            broadcast channel this is ``PullBW`` (an upper bound on pulled
+            pages per slot).
+        capacity: queue room, including the request in service (K).
+    """
+
+    arrival_rate: float
+    service_rate: float
+    capacity: int
+
+    def __post_init__(self):
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if self.service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def rho(self) -> float:
+        """Offered load λ/μ (may exceed 1 — the queue is lossy)."""
+        return self.arrival_rate / self.service_rate
+
+    def occupancy_pmf(self) -> list[float]:
+        """P[n requests in system] for n = 0..K."""
+        rho, k = self.rho, self.capacity
+        if math.isclose(rho, 1.0):
+            return [1.0 / (k + 1)] * (k + 1)
+        norm = (1.0 - rho) / (1.0 - rho ** (k + 1))
+        return [norm * rho ** n for n in range(k + 1)]
+
+    @property
+    def blocking_probability(self) -> float:
+        """Probability an arriving request is dropped (queue full).
+
+        By PASTA, this equals the stationary probability of K in system.
+        """
+        return self.occupancy_pmf()[self.capacity]
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Expected number of requests in the system."""
+        return sum(n * p for n, p in enumerate(self.occupancy_pmf()))
+
+    @property
+    def throughput(self) -> float:
+        """Accepted-request rate λ(1 − P_block)."""
+        return self.arrival_rate * (1.0 - self.blocking_probability)
+
+    @property
+    def mean_wait(self) -> float:
+        """Expected response time of an *accepted* request (Little's law)."""
+        throughput = self.throughput
+        if throughput == 0.0:
+            return 0.0
+        return self.mean_occupancy / throughput

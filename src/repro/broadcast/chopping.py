@@ -1,0 +1,70 @@
+"""Restricted ("chopped") push schedules for Experiment 3 (Section 4.3).
+
+The push program is made smaller by removing pages from the slowest disk
+until it is empty, then from the next-slowest, and so on.  Removed pages
+can only be obtained by pulling them over the backchannel.  Within a disk
+the coldest pages (lowest access probability) are removed first, so the
+offset-shifted hottest pages are the last to leave the broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.broadcast.program import Disk, DiskAssignment
+
+__all__ = ["chop_assignment"]
+
+
+def chop_assignment(assignment: DiskAssignment, num_pages: int,
+                    probabilities: Mapping[int, float] | Sequence[float]
+                    ) -> DiskAssignment:
+    """Remove the ``num_pages`` coldest pages, slowest disk first.
+
+    Args:
+        assignment: the full broadcast assignment (typically offset).
+        num_pages: how many pages to drop from the push schedule.
+        probabilities: access probability per page id (mapping or dense
+            sequence indexed by page id); decides cold-first order inside
+            each disk.
+
+    Returns:
+        A new assignment.  Disks emptied entirely are removed; relative
+        frequencies of the surviving disks are preserved.
+
+    Raises:
+        ValueError: if ``num_pages`` would empty the whole broadcast (the
+            paper always keeps at least the fastest disk).
+    """
+    if num_pages < 0:
+        raise ValueError("num_pages must be non-negative")
+    if num_pages >= assignment.num_pages:
+        raise ValueError(
+            f"cannot chop {num_pages} of {assignment.num_pages} pages; "
+            f"at least one page must remain on the broadcast")
+    if num_pages == 0:
+        return assignment
+
+    def probability(page: int) -> float:
+        """Access probability of ``page`` under either input shape."""
+        if isinstance(probabilities, Mapping):
+            return probabilities[page]
+        return probabilities[page]
+
+    remaining = num_pages
+    new_disks: list[Disk] = []
+    for disk in reversed(assignment.disks):
+        if remaining >= disk.size:
+            remaining -= disk.size
+            continue  # the whole disk is chopped
+        if remaining == 0:
+            new_disks.append(disk)
+            continue
+        # Drop the `remaining` coldest pages of this disk, keeping the
+        # survivors in their original order.
+        doomed = set(sorted(disk.pages, key=probability)[:remaining])
+        survivors = tuple(p for p in disk.pages if p not in doomed)
+        new_disks.append(Disk(survivors, disk.rel_freq))
+        remaining = 0
+    new_disks.reverse()
+    return DiskAssignment(tuple(new_disks))

@@ -1,0 +1,50 @@
+"""The *Offset* broadcast-program transform (Section 3.2 of the paper).
+
+Mapping pages to disks strictly by hotness wastes bandwidth: steady-state
+clients hold the hottest pages in their caches, so broadcasting them often
+helps nobody.  The server therefore "shifts its CacheSize hottest pages to
+the slowest disk, moving colder pages to faster disks".  Every result in
+the paper uses the offset program.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.broadcast.program import DiskAssignment
+
+__all__ = ["offset_page_order", "apply_offset"]
+
+
+def offset_page_order(ranked_pages: Sequence[int],
+                      cache_size: int) -> list[int]:
+    """Reorder a hottest-first ranking for the offset program.
+
+    The hottest ``cache_size`` pages rotate to the back of the ordering so
+    that, once the ordering is sliced into disks, they land on the slowest
+    disk while every colder page shifts one cache-size step faster.
+    """
+    if cache_size < 0:
+        raise ValueError("cache_size must be non-negative")
+    if cache_size >= len(ranked_pages):
+        raise ValueError(
+            f"cache_size {cache_size} must be smaller than the database "
+            f"({len(ranked_pages)} pages)")
+    ranked = list(ranked_pages)
+    return ranked[cache_size:] + ranked[:cache_size]
+
+
+def apply_offset(ranked_pages: Sequence[int], disk_sizes: Sequence[int],
+                 rel_freqs: Sequence[int], cache_size: int) -> DiskAssignment:
+    """Build the offset disk assignment straight from a hotness ranking.
+
+    Requires ``cache_size`` to fit on the slowest disk, otherwise some
+    hottest pages would spill onto a faster disk and the transform would
+    not mean what the paper describes.
+    """
+    if cache_size > disk_sizes[-1]:
+        raise ValueError(
+            f"cache_size {cache_size} exceeds the slowest disk "
+            f"({disk_sizes[-1]} pages); the offset pages would not fit")
+    order = offset_page_order(ranked_pages, cache_size)
+    return DiskAssignment.from_ranking(order, disk_sizes, rel_freqs)

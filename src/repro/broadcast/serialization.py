@@ -1,0 +1,82 @@
+"""JSON-friendly (de)serialization of broadcast programs.
+
+A deployment generates its program once (client profiles change slowly)
+and distributes it: clients need the layout both to compute PIX values
+and to run the threshold filter against the schedule.  These helpers give
+programs a stable wire format:
+
+- assignments serialize as their disks (pages + relative frequency),
+- schedules serialize as the assignment plus the generated slot sequence,
+  so a loaded schedule is *verbatim* — no regeneration drift even if the
+  generation algorithm ever changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.broadcast.program import Disk, DiskAssignment
+from repro.broadcast.schedule import Schedule
+
+__all__ = [
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
+
+#: Wire-format version; bump on breaking layout changes.
+FORMAT_VERSION = 1
+
+
+def assignment_to_dict(assignment: DiskAssignment) -> dict[str, Any]:
+    """Serialize a disk assignment."""
+    return {
+        "version": FORMAT_VERSION,
+        "disks": [
+            {"pages": list(disk.pages), "rel_freq": disk.rel_freq}
+            for disk in assignment.disks
+        ],
+    }
+
+
+def _check_version(data: Mapping[str, Any]) -> None:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported broadcast-program format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+
+
+def assignment_from_dict(data: Mapping[str, Any]) -> DiskAssignment:
+    """Rebuild a disk assignment (validates via the normal constructors)."""
+    _check_version(data)
+    disks = tuple(
+        Disk(tuple(entry["pages"]), int(entry["rel_freq"]))
+        for entry in data["disks"]
+    )
+    return DiskAssignment(disks)
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule (slots verbatim; None marks padding)."""
+    payload: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "slots": list(schedule.slots),
+        "minor_cycle": schedule.minor_cycle,
+    }
+    if schedule.assignment is not None:
+        payload["assignment"] = assignment_to_dict(schedule.assignment)
+    return payload
+
+
+def schedule_from_dict(data: Mapping[str, Any]) -> Schedule:
+    """Rebuild a schedule exactly as serialized."""
+    _check_version(data)
+    assignment = None
+    if data.get("assignment") is not None:
+        assignment = assignment_from_dict(data["assignment"])
+    slots = tuple(None if slot is None else int(slot)
+                  for slot in data["slots"])
+    return Schedule(slots, assignment=assignment,
+                    minor_cycle=data.get("minor_cycle"))

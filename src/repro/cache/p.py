@@ -1,0 +1,22 @@
+"""The P replacement policy (Section 3.1).
+
+For Pure-Pull there is no periodic broadcast, so refetch cost is uniform
+and the victim is simply "the cache-resident page with the lowest
+probability of access (p)".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.pix import StaticValuePolicy
+from repro.cache.values import page_values
+
+__all__ = ["PPolicy"]
+
+
+class PPolicy(StaticValuePolicy):
+    """P: eject the resident page with the lowest access probability."""
+
+    def __init__(self, probabilities: Sequence[float]):
+        super().__init__(page_values(probabilities, None, metric="p"))

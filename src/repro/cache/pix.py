@@ -1,0 +1,77 @@
+"""The PIX cost-based replacement policy (Section 2.1).
+
+PIX ejects the resident page with the lowest ``p / x``: a page's value
+rises with its access probability and falls with how frequently the
+broadcast re-delivers it.  In the paper's example, a page with
+``p = 0.3, x = 4`` is ejected before one with ``p = 0.1, x = 1``.
+
+Because both ``p`` and ``x`` are fixed for a run, values are static; the
+policy keeps a lazy min-heap of ``(value, page)`` entries, skipping entries
+for pages that are no longer resident.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping, Sequence
+
+from repro.cache.base import ReplacementPolicy
+from repro.cache.values import page_values
+
+__all__ = ["PixPolicy", "StaticValuePolicy"]
+
+
+class StaticValuePolicy(ReplacementPolicy):
+    """Evict-minimum policy over per-page static value keys."""
+
+    def __init__(self, values: Sequence[tuple[float, float]]):
+        self._values = list(values)
+        self._resident: set[int] = set()
+        self._heap: list[tuple[float, float, int]] = []
+
+    def value(self, page: int) -> tuple[float, float]:
+        """The static value key of ``page`` (smaller = ejected sooner)."""
+        return self._values[page]
+
+    def on_insert(self, page: int, now: float) -> None:
+        """See :meth:`ReplacementPolicy.on_insert`."""
+        self._resident.add(page)
+        primary, secondary = self._values[page]
+        heapq.heappush(self._heap, (primary, secondary, page))
+
+    def on_hit(self, page: int, now: float) -> None:
+        """See :meth:`ReplacementPolicy.on_hit`."""
+        pass  # value is independent of recency
+
+    def on_evict(self, page: int) -> None:
+        """See :meth:`ReplacementPolicy.on_evict`."""
+        self._resident.discard(page)
+
+    def choose_victim(self) -> int:
+        """See :meth:`ReplacementPolicy.choose_victim`."""
+        # Lazily discard heap entries for pages already ejected.  A resident
+        # page has exactly one live entry (duplicates from re-insertion are
+        # value-identical, so popping any of them is equivalent).
+        while self._heap:
+            _, _, page = self._heap[0]
+            if page in self._resident:
+                # Pop it now; if the cache rejects the eviction it would be
+                # a kernel bug, surfaced by Cache.insert's residency check.
+                heapq.heappop(self._heap)
+                self._resident.discard(page)
+                return page
+            heapq.heappop(self._heap)
+        raise RuntimeError("choose_victim() on an empty cache")
+
+
+class PixPolicy(StaticValuePolicy):
+    """PIX: eject the lowest ``p / x``.
+
+    Pages missing from ``frequencies`` (pull-only) are valued at the
+    slowest broadcast frequency — see :mod:`repro.cache.values` for the
+    rationale.
+    """
+
+    def __init__(self, probabilities: Sequence[float],
+                 frequencies: Mapping[int, int]):
+        super().__init__(page_values(probabilities, frequencies, metric="pix"))

@@ -1,0 +1,72 @@
+"""Page-value metrics shared by caches, clients, and experiments.
+
+The paper evaluates a page's worth with one of two metrics (footnote 4):
+
+- ``P``  — the access probability ``p`` (Pure-Pull, no broadcast),
+- ``PIX`` — ``p / x`` where ``x`` is the page's broadcast frequency
+  (Pure-Push and IPP).
+
+Pages absent from the push program (Experiment 3's chopped pages) have no
+``x``.  Valuing them as infinitely expensive would freeze every chopped
+page into the cache on first touch — caches would silt up with
+never-again-accessed cold pages and stop holding the hot set, a
+degenerate equilibrium the paper clearly does not exhibit.  Instead we
+treat a pull-only page as *at least as expensive as the slowest pushed
+page*: its PIX uses the slowest remaining broadcast frequency, so among
+equally-slow pages the access probability decides, and hot chopped pages
+rank exactly where intuition puts them.  (DESIGN.md §4 discusses this
+choice.)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["page_values", "top_valued_pages", "rank_by_probability"]
+
+
+def page_values(probabilities: Sequence[float],
+                frequencies: Mapping[int, int] | None,
+                metric: str = "pix") -> list[tuple[float, float]]:
+    """Per-page value keys, indexed by page id.
+
+    Returns ``(primary, secondary)`` tuples ordered so that tuple comparison
+    ranks pages from least to most valuable: primary is the metric value
+    (``p`` or ``p/x``), secondary is ``p`` as the tie-breaker.  Pages
+    missing from ``frequencies`` (pull-only) use the slowest frequency
+    present, per the module docstring.
+    """
+    if metric not in ("pix", "p"):
+        raise ValueError(f"unknown value metric {metric!r}")
+    if metric == "p" or frequencies is None:
+        return [(float(p), float(p)) for p in probabilities]
+    slowest = min(frequencies.values(), default=1)
+    values: list[tuple[float, float]] = []
+    for page, prob in enumerate(probabilities):
+        frequency = frequencies.get(page, slowest)
+        values.append((float(prob) / frequency, float(prob)))
+    return values
+
+
+def top_valued_pages(probabilities: Sequence[float],
+                     frequencies: Mapping[int, int] | None,
+                     count: int, metric: str = "pix") -> frozenset[int]:
+    """The ``count`` most valuable pages under the chosen metric.
+
+    This is the set a completely warmed-up cache holds — used for the
+    virtual client's steady-state filter and for Figure 4's warm-up target.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    values = page_values(probabilities, frequencies, metric)
+    order = sorted(range(len(values)), key=values.__getitem__, reverse=True)
+    return frozenset(order[:count])
+
+
+def rank_by_probability(probabilities: Sequence[float]) -> list[int]:
+    """Page ids sorted hottest-first (stable for equal probabilities)."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    # argsort of the negated vector is stable with kind="stable".
+    return list(np.argsort(-probabilities, kind="stable"))

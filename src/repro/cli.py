@@ -1,0 +1,212 @@
+"""Command-line interface: ``repro-broadcast`` / ``python -m repro``.
+
+Subcommands:
+
+- ``figures`` — regenerate one or all of the paper's figures and print
+  the series as tables (optionally saving JSON),
+- ``simulate`` — run a single configured system and dump its metrics,
+- ``program`` — show a broadcast program's layout and analytic delays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.algorithms import Algorithm
+from repro.core.config import SystemConfig
+from repro.core.fast import simulate
+from repro.experiments import ALL_FIGURES, FULL, QUICK, Profile, render_figure
+from repro.experiments.reporting import render_ascii_chart
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-broadcast",
+        description="Reproduction of 'Balancing Push and Pull for Data "
+                    "Broadcast' (SIGMOD 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "ids", nargs="*", metavar="FIG",
+        help=f"figure ids ({', '.join(ALL_FIGURES)}); default: all")
+    figures.add_argument(
+        "--full", action="store_true",
+        help="paper-scale runs (slow); default is the quick profile")
+    figures.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for the sweeps")
+    figures.add_argument(
+        "--seed", type=int, default=42, help="base RNG seed")
+    figures.add_argument(
+        "--json", type=Path, default=None, metavar="DIR",
+        help="also write one JSON file per figure into DIR")
+    figures.add_argument(
+        "--drop-rates", action="store_true",
+        help="print server drop-rate tables as well")
+    figures.add_argument(
+        "--chart", action="store_true",
+        help="also plot each figure as an ASCII chart")
+
+    one = sub.add_parser("simulate", help="run one configured system")
+    one.add_argument("--algorithm", choices=[a.value for a in Algorithm],
+                     default="ipp")
+    one.add_argument("--ttr", type=float, default=10.0,
+                     help="ThinkTimeRatio (client population scale)")
+    one.add_argument("--pull-bw", type=float, default=0.5)
+    one.add_argument("--thresh-perc", type=float, default=0.0)
+    one.add_argument("--steady-state-perc", type=float, default=0.95)
+    one.add_argument("--noise", type=float, default=0.0)
+    one.add_argument("--chop", type=int, default=0)
+    one.add_argument("--seed", type=int, default=0)
+    one.add_argument("--settle", type=int, default=4000)
+    one.add_argument("--measure", type=int, default=5000)
+
+    prog = sub.add_parser("program", help="inspect a broadcast program")
+    prog.add_argument("--cache-size", type=int, default=100)
+    prog.add_argument("--chop", type=int, default=0)
+    prog.add_argument("--no-offset", action="store_true")
+
+    tune = sub.add_parser(
+        "tune", help="recommend IPP knob settings for a load range")
+    tune.add_argument("--loads", default="10,50,250",
+                      help="comma-separated ThinkTimeRatio range")
+    tune.add_argument("--pull-bw", default="0.3,0.5",
+                      help="comma-separated PullBW candidates")
+    tune.add_argument("--thresh-perc", default="0,0.25,0.35",
+                      help="comma-separated ThresPerc candidates")
+    tune.add_argument("--chop", default="0",
+                      help="comma-separated chop-depth candidates")
+    tune.add_argument("--objective", choices=("worst_case", "mean"),
+                      default="worst_case")
+    tune.add_argument("--settle", type=int, default=500)
+    tune.add_argument("--measure", type=int, default=800)
+    tune.add_argument("--replicates", type=int, default=1)
+    tune.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    ids = args.ids or list(ALL_FIGURES)
+    unknown = [i for i in ids if i not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    base = FULL if args.full else QUICK
+    profile = Profile(
+        settle_accesses=base.settle_accesses,
+        measure_accesses=base.measure_accesses,
+        replicates=base.replicates,
+        workers=args.workers,
+        base_seed=args.seed,
+    )
+    if args.json is not None:
+        args.json.mkdir(parents=True, exist_ok=True)
+    for fig_id in ids:
+        started = time.perf_counter()
+        figure = ALL_FIGURES[fig_id](profile)
+        elapsed = time.perf_counter() - started
+        print(render_figure(figure, show_drop_rates=args.drop_rates))
+        if args.chart:
+            print()
+            print(render_ascii_chart(figure))
+        print(f"[figure {fig_id} regenerated in {elapsed:.1f}s]\n")
+        if args.json is not None:
+            path = args.json / f"figure_{fig_id}.json"
+            path.write_text(json.dumps(figure.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = SystemConfig(algorithm=Algorithm(args.algorithm)).with_(
+        client__think_time_ratio=args.ttr,
+        client__steady_state_perc=args.steady_state_perc,
+        client__noise=args.noise,
+        server__pull_bw=args.pull_bw,
+        server__thresh_perc=args.thresh_perc,
+        server__chop=args.chop,
+        run__seed=args.seed,
+        run__settle_accesses=args.settle,
+        run__measure_accesses=args.measure,
+    )
+    result = simulate(config)
+    print(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_program(args) -> int:
+    from repro.core.build import build_push_program
+    from repro.workload.zipf import zipf_probabilities
+
+    config = SystemConfig(algorithm=Algorithm.IPP).with_(
+        client__cache_size=args.cache_size,
+        server__offset=not args.no_offset,
+        server__chop=args.chop,
+    )
+    probs = zipf_probabilities(config.server.db_size,
+                               config.client.zipf_theta)
+    schedule = build_push_program(config, probs)
+    assert schedule is not None
+    print(f"major cycle: {len(schedule)} slots "
+          f"({schedule.num_empty_slots} padding)")
+    assert schedule.assignment is not None
+    for index, disk in enumerate(schedule.assignment.disks, start=1):
+        sample = ", ".join(str(p) for p in disk.pages[:5])
+        print(f"disk {index}: {disk.size} pages @ rel_freq "
+              f"{disk.rel_freq} (hottest: {sample}, ...)")
+    for page in (0, 100, 500, 999):
+        if page in schedule:
+            print(f"page {page}: freq {schedule.frequency(page)}/cycle, "
+                  f"E[delay] = {schedule.expected_delay(page):.1f}")
+        else:
+            print(f"page {page}: not broadcast (pull only)")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.experiments.base import Profile
+    from repro.tuning import TuningSpec, recommend
+
+    def floats(text):
+        return tuple(float(v) for v in text.split(",") if v)
+
+    spec = TuningSpec(
+        loads=floats(args.loads),
+        pull_bw_grid=floats(args.pull_bw),
+        thresh_grid=floats(args.thresh_perc),
+        chop_grid=tuple(int(v) for v in args.chop.split(",") if v),
+        objective=args.objective,
+    )
+    profile = Profile(settle_accesses=args.settle,
+                      measure_accesses=args.measure,
+                      replicates=args.replicates,
+                      base_seed=args.seed)
+    report = recommend(SystemConfig(algorithm=Algorithm.IPP), spec, profile)
+    print(report.format())
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    return _cmd_program(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

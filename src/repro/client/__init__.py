@@ -1,0 +1,21 @@
+"""Client-side machinery.
+
+- :class:`~repro.client.threshold.ThresholdFilter` — the ThresPerc filter
+  that suppresses pull requests for pages arriving soon on the push program,
+- :class:`~repro.client.measured.MeasuredClient` — the single client whose
+  performance the experiments report (dynamic cache, warm-up tracking),
+- :class:`~repro.client.virtual.VirtualClient` — the aggregate model of
+  every other client in the system (Poisson request stream, static
+  steady-state cache filter).
+"""
+
+from repro.client.threshold import ThresholdFilter
+from repro.client.measured import MeasuredClient, WarmupTracker
+from repro.client.virtual import VirtualClient
+
+__all__ = [
+    "ThresholdFilter",
+    "MeasuredClient",
+    "WarmupTracker",
+    "VirtualClient",
+]

@@ -1,0 +1,77 @@
+"""Backchannel thresholding (Sections 2.3 and 4.2).
+
+A client sends a pull request for a missed page only when the page's next
+scheduled appearance lies *beyond* ``ThresPerc × MajorCycleSize`` push
+slots.  This reserves the backchannel for the pages that would otherwise
+incur the longest push latency; pages not on the push program at all have
+infinite distance and always pass.
+
+Because the client cannot know what the server will place in pull slots
+(footnote 7), the distance is measured in positions of the periodic
+program, not in wall-clock slots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.broadcast.schedule import Schedule
+
+__all__ = ["ThresholdFilter"]
+
+
+class ThresholdFilter:
+    """Decides whether a missed page justifies a backchannel request."""
+
+    def __init__(self, schedule: Optional[Schedule], thresh_perc: float):
+        """Args:
+            schedule: the push program; None means no program (Pure-Pull),
+                in which case every page passes.
+            thresh_perc: the threshold as a *fraction* of the major cycle
+                (the paper's ThresPerc of 25% is 0.25 here).
+        """
+        if not 0.0 <= thresh_perc <= 1.0:
+            raise ValueError(
+                f"thresh_perc must be within [0, 1], got {thresh_perc}")
+        self.schedule = schedule
+        self.thresh_perc = thresh_perc
+        if schedule is None:
+            self.threshold_slots: float = 0.0
+        else:
+            self.threshold_slots = thresh_perc * len(schedule)
+
+    def set_thresh_perc(self, thresh_perc: float) -> None:
+        """Retune the threshold (used by the adaptive controller)."""
+        if not 0.0 <= thresh_perc <= 1.0:
+            raise ValueError(
+                f"thresh_perc must be within [0, 1], got {thresh_perc}")
+        self.thresh_perc = thresh_perc
+        if self.schedule is not None:
+            self.threshold_slots = thresh_perc * len(self.schedule)
+
+    def passes(self, page: int, schedule_pos: int) -> bool:
+        """True if a pull request for ``page`` should be sent.
+
+        ``schedule_pos`` is the server's current position in the periodic
+        program.  The paper's rule is strict: request only if the distance
+        exceeds the threshold, so with ThresPerc = 100% no page in the
+        program is ever requested (everything arrives within one cycle).
+        """
+        if self.schedule is None:
+            return True
+        distance = self.schedule.distance(page, schedule_pos)
+        return distance > self.threshold_slots
+
+    def max_push_wait(self, page: int, schedule_pos: int) -> float:
+        """Upper bound on the push wait for ``page`` in program positions.
+
+        Infinite for pages not on the program — the "no safety net" case
+        Experiment 3 highlights.
+        """
+        if self.schedule is None:
+            return math.inf
+        distance = self.schedule.distance(page, schedule_pos)
+        from repro.broadcast.schedule import NOT_BROADCAST
+
+        return math.inf if distance >= NOT_BROADCAST else float(distance + 1)

@@ -1,0 +1,110 @@
+"""The Virtual Client (VC) — the rest of the client population.
+
+The VC aggregates "an arbitrarily large client population" into one request
+source (Section 3.1): a Poisson stream of rate
+``ThinkTimeRatio / MCThinkTime`` requests per broadcast unit.  Each request
+is tagged steady-state or warm-up by a coin weighted by ``SteadyStatePerc``:
+
+- steady-state requests are filtered through a fully-warm cache — modelled
+  as absorption by the static set of the ``CacheSize − 1`` highest-valued
+  pages (Section 4.1.1),
+- warm-up requests bypass the cache (an empty cache misses everything),
+
+and every surviving request passes the threshold filter before reaching
+the server's backchannel queue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.client.threshold import ThresholdFilter
+from repro.workload.access import AccessStream, think_time_rate
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["VirtualClient"]
+
+
+class VirtualClient:
+    """Aggregate request source for all clients other than the MC."""
+
+    def __init__(self, probabilities: np.ndarray, steady_set: frozenset[int],
+                 steady_state_perc: float, mc_think_time: float,
+                 think_time_ratio: float,
+                 threshold: Optional[ThresholdFilter],
+                 rng: np.random.Generator):
+        """Args:
+            probabilities: the aggregate (server-view) access distribution.
+            steady_set: pages a fully-warm cache holds (absorbs steady hits).
+            steady_state_perc: fraction of represented clients in steady
+                state (the paper's SteadyStatePerc).
+            mc_think_time / think_time_ratio: define the request rate.
+            threshold: ThresPerc filter, or None to skip filtering.
+            rng: seeded generator (owns the Poisson and access draws).
+        """
+        self.rate = think_time_rate(mc_think_time, think_time_ratio)
+        self.steady_set = steady_set
+        self.threshold = threshold
+        self._rng = rng
+        sampler = ZipfSampler(probabilities, rng)
+        self._stream = AccessStream(sampler, steady_state_perc, rng)
+        # Fast-path threshold lookup: a flat row-major distance table so the
+        # hot loop does one array index instead of a per-page binary search.
+        if threshold is not None and threshold.schedule is not None:
+            table = threshold.schedule.distance_table(probabilities.size)
+            self._cycle = table.shape[1]
+            self._dist_flat = table.ravel()
+            self._threshold_slots = threshold.threshold_slots
+        else:
+            self._cycle = 0
+            self._dist_flat = None
+            self._threshold_slots = 0.0
+        # Accounting (cumulative; engines reset at phase boundaries).
+        self.generated = 0
+        self.absorbed_by_cache = 0
+        self.filtered_by_threshold = 0
+
+    def arrivals_in_slot(self) -> int:
+        """Number of VC requests arriving during one broadcast slot."""
+        return int(self._rng.poisson(self.rate))
+
+    def arrivals_for_slots(self, count: int) -> list[int]:
+        """Batched Poisson draws: requests arriving in each of ``count`` slots."""
+        return self._rng.poisson(self.rate, count).tolist()
+
+    def set_threshold_slots(self, threshold_slots: float) -> None:
+        """Retune the fast-path threshold (adaptive controller hook)."""
+        self._threshold_slots = threshold_slots
+
+    def requests_for_slot(self, count: int,
+                          schedule_pos: int) -> Iterator[int]:
+        """Yield the pages (of ``count`` raw accesses) that reach the server.
+
+        Applies the steady-state cache absorption and the threshold filter;
+        the caller offers the survivors to the server queue in order.
+        """
+        stream_next = self._stream.next
+        steady_set = self.steady_set
+        dist_flat = self._dist_flat
+        threshold_slots = self._threshold_slots
+        base = schedule_pos % self._cycle if self._cycle else 0
+        cycle = self._cycle
+        self.generated += count
+        for _ in range(count):
+            page, steady = stream_next()
+            if steady and page in steady_set:
+                self.absorbed_by_cache += 1
+                continue
+            if (dist_flat is not None
+                    and dist_flat[page * cycle + base] <= threshold_slots):
+                self.filtered_by_threshold += 1
+                continue
+            yield page
+
+    def reset_stats(self) -> None:
+        """Zero the accounting counters (measurement-phase boundary)."""
+        self.generated = 0
+        self.absorbed_by_cache = 0
+        self.filtered_by_threshold = 0

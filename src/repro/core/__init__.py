@@ -1,0 +1,42 @@
+"""The paper's primary contribution: integrated push/pull data delivery.
+
+- :mod:`~repro.core.algorithms` — Pure-Push, Pure-Pull, and IPP,
+- :mod:`~repro.core.config` — parameter dataclasses mirroring Tables 1–3,
+- :mod:`~repro.core.build` — wiring configs into simulated systems,
+- :mod:`~repro.core.simulation` — the readable event-driven reference engine,
+- :mod:`~repro.core.fast` — the optimized slot-driven engine the
+  experiments use,
+- :mod:`~repro.core.metrics` — run results (response times, drop rates,
+  warm-up traces),
+- :mod:`~repro.core.adaptive` — a feedback controller for PullBW /
+  threshold (the paper's future-work extension).
+"""
+
+from repro.core.algorithms import Algorithm
+from repro.core.config import (
+    ClientConfig,
+    RunConfig,
+    ServerConfig,
+    SystemConfig,
+    PAPER_SETTINGS,
+)
+from repro.core.metrics import RunResult, TallySnapshot
+from repro.core.build import build_system, SystemState
+from repro.core.fast import FastEngine, simulate
+from repro.core.simulation import ReferenceEngine
+
+__all__ = [
+    "Algorithm",
+    "ClientConfig",
+    "ServerConfig",
+    "RunConfig",
+    "SystemConfig",
+    "PAPER_SETTINGS",
+    "RunResult",
+    "TallySnapshot",
+    "build_system",
+    "SystemState",
+    "FastEngine",
+    "ReferenceEngine",
+    "simulate",
+]

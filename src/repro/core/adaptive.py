@@ -1,0 +1,103 @@
+"""Dynamic PullBW / threshold control — the paper's future work (§6).
+
+    "We also see the utility in developing more dynamic algorithms that can
+    adjust to changes in the system load.  For example, as the contention
+    on the server increases, a dynamic algorithm might automatically reduce
+    the pull bandwidth at the server and also use a larger threshold at the
+    client."
+
+:class:`AdaptiveController` implements exactly that policy as an
+additive-increase / additive-decrease loop on the observed drop rate of
+the backchannel queue: under saturation it steps the threshold up and the
+pull bandwidth down (strengthening the push safety net); when the queue
+runs clear it relaxes both so light-load responsiveness returns.  The fast
+engine applies it every ``interval`` slots when one is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdaptivePolicy", "AdaptiveController"]
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Tuning knobs for the adaptive controller."""
+
+    #: Slots between control decisions.
+    interval: int = 2000
+    #: Window drop rate above which the system is considered saturated.
+    high_drop: float = 0.10
+    #: Window drop rate below which the system is considered idle.
+    low_drop: float = 0.01
+    #: Per-decision adjustment of ThresPerc (fraction of the major cycle).
+    thresh_step: float = 0.05
+    #: Per-decision adjustment of PullBW.
+    pull_bw_step: float = 0.05
+    #: Bounds for the controlled parameters.
+    min_pull_bw: float = 0.10
+    max_pull_bw: float = 0.90
+    min_thresh: float = 0.0
+    max_thresh: float = 0.75
+
+    def __post_init__(self):
+        if self.interval < 1:
+            raise ValueError("interval must be positive")
+        if not 0.0 <= self.low_drop <= self.high_drop <= 1.0:
+            raise ValueError("need 0 <= low_drop <= high_drop <= 1")
+        if not 0.0 <= self.min_pull_bw <= self.max_pull_bw <= 1.0:
+            raise ValueError("invalid pull_bw bounds")
+        if not 0.0 <= self.min_thresh <= self.max_thresh <= 1.0:
+            raise ValueError("invalid threshold bounds")
+
+
+class AdaptiveController:
+    """Feedback loop over window drop rate → (PullBW, ThresPerc).
+
+    The engine calls :meth:`decide` once per control interval with the
+    queue's cumulative counters; the controller differences them into a
+    window and returns the parameters to apply next.
+    """
+
+    def __init__(self, policy: AdaptivePolicy, pull_bw: float,
+                 thresh_perc: float):
+        self.policy = policy
+        self.pull_bw = min(max(pull_bw, policy.min_pull_bw),
+                           policy.max_pull_bw)
+        self.thresh_perc = min(max(thresh_perc, policy.min_thresh),
+                               policy.max_thresh)
+        self._last_offers = 0
+        self._last_dropped = 0
+        #: (time, pull_bw, thresh_perc, window_drop_rate) per decision.
+        self.trace: list[tuple[float, float, float, float]] = []
+
+    def decide(self, now: float, total_offers: int,
+               total_dropped: int) -> tuple[float, float]:
+        """One control decision; returns ``(pull_bw, thresh_perc)``."""
+        window_offers = total_offers - self._last_offers
+        window_dropped = total_dropped - self._last_dropped
+        if window_offers < 0 or window_dropped < 0:
+            # The engine reset its cumulative counters at a measurement
+            # phase boundary; the window restarts from the new totals.
+            window_offers = total_offers
+            window_dropped = total_dropped
+        self._last_offers = total_offers
+        self._last_dropped = total_dropped
+        drop_rate = (window_dropped / window_offers) if window_offers else 0.0
+
+        policy = self.policy
+        if drop_rate > policy.high_drop:
+            # Saturated: conserve the backchannel, strengthen the push net.
+            self.thresh_perc = min(self.thresh_perc + policy.thresh_step,
+                                   policy.max_thresh)
+            self.pull_bw = max(self.pull_bw - policy.pull_bw_step,
+                               policy.min_pull_bw)
+        elif drop_rate < policy.low_drop:
+            # Idle: relax toward responsive pull-heavy operation.
+            self.thresh_perc = max(self.thresh_perc - policy.thresh_step,
+                                   policy.min_thresh)
+            self.pull_bw = min(self.pull_bw + policy.pull_bw_step,
+                               policy.max_pull_bw)
+        self.trace.append((now, self.pull_bw, self.thresh_perc, drop_rate))
+        return self.pull_bw, self.thresh_perc

@@ -1,0 +1,63 @@
+"""The three data-delivery algorithms compared by the paper (Section 2.3).
+
+All three broadcast on the frontchannel; they differ in how cache misses
+are handled:
+
+- **Pure-Push** — the original Broadcast Disks scheme.  ``PullBW = 0``, no
+  backchannel; a missing page is awaited on the periodic program.
+- **Pure-Pull** — request/response with snooping.  ``PullBW = 1``, no
+  periodic program; every miss sends a backchannel request and any client
+  can grab pages pulled by others off the frontchannel.
+- **IPP** — Interleaved Push and Pull.  The periodic program continues,
+  with up to ``PullBW`` of the slots answering queued pulls; clients
+  request only pages whose next push lies beyond the threshold.
+
+The cache value metric follows footnote 4: ``P`` (probability only) for
+Pure-Pull, ``PIX`` (probability over broadcast frequency) otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Algorithm"]
+
+
+class Algorithm(enum.Enum):
+    """Which delivery scheme a simulated system runs."""
+
+    PURE_PUSH = "pure-push"
+    PURE_PULL = "pure-pull"
+    IPP = "ipp"
+
+    @property
+    def has_push_program(self) -> bool:
+        """Whether a periodic broadcast program exists."""
+        return self is not Algorithm.PURE_PULL
+
+    @property
+    def uses_backchannel(self) -> bool:
+        """Whether clients may send pull requests."""
+        return self is not Algorithm.PURE_PUSH
+
+    @property
+    def cache_metric(self) -> str:
+        """Value metric for replacement and steady-state sets ('pix'/'p')."""
+        return "p" if self is Algorithm.PURE_PULL else "pix"
+
+    def effective_pull_bw(self, configured: float) -> float:
+        """PullBW actually in force (the pure algorithms pin it)."""
+        if self is Algorithm.PURE_PUSH:
+            return 0.0
+        if self is Algorithm.PURE_PULL:
+            return 1.0
+        return configured
+
+    def effective_thresh_perc(self, configured: float) -> float:
+        """ThresPerc actually in force.
+
+        Thresholding "is not meaningful when the Pure-Pull approach is
+        used" (Section 3.2) — every miss is requested — and Pure-Push
+        never requests anything regardless.
+        """
+        return configured if self is Algorithm.IPP else 0.0

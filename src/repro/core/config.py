@@ -1,0 +1,207 @@
+"""Simulation parameters, mirroring Tables 1–3 of the paper.
+
+All percentages from the paper are expressed as fractions here
+(SteadyStatePerc 95% → 0.95).  :data:`PAPER_SETTINGS` records Table 3's
+values verbatim so experiments and tests can reference them by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.algorithms import Algorithm
+
+__all__ = [
+    "ClientConfig",
+    "ServerConfig",
+    "RunConfig",
+    "SystemConfig",
+    "PAPER_SETTINGS",
+]
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Table 1 — client parameters."""
+
+    #: Client cache size in pages (CacheSize).
+    cache_size: int = 100
+    #: Broadcast units between MC page accesses (MCThinkTime).
+    think_time: float = 20.0
+    #: Ratio of MC to VC think times (ThinkTimeRatio); the VC load equals a
+    #: population of this many MC-rate clients.
+    think_time_ratio: float = 10.0
+    #: Fraction of VC requests filtered through a warm cache
+    #: (SteadyStatePerc).
+    steady_state_perc: float = 0.95
+    #: Fraction of workload deviation for the MC (Noise).
+    noise: float = 0.0
+    #: Zipf distribution parameter (θ).
+    zipf_theta: float = 0.95
+    #: MC replacement policy: "auto" follows the paper (PIX for
+    #: push-involved algorithms, P for Pure-Pull); "pix" / "p" / "lru" /
+    #: "lix" force one, enabling the cache-policy ablations.
+    cache_policy: str = "auto"
+
+    def __post_init__(self):
+        if self.cache_policy not in ("auto", "pix", "p", "lru", "lix"):
+            raise ValueError(
+                f"unknown cache_policy {self.cache_policy!r}")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.think_time <= 0:
+            raise ValueError("think_time must be positive")
+        if self.think_time_ratio <= 0:
+            raise ValueError("think_time_ratio must be positive")
+        for name in ("steady_state_perc", "noise"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.zipf_theta < 0:
+            raise ValueError("zipf_theta must be non-negative")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Table 2 — server parameters."""
+
+    #: Number of distinct pages in the database (ServerDBSize).
+    db_size: int = 1000
+    #: Pages per disk, fastest first (DiskSize_i).
+    disk_sizes: tuple[int, ...] = (100, 400, 500)
+    #: Relative broadcast frequency per disk (RelFreq_i).
+    rel_freqs: tuple[int, ...] = (3, 2, 1)
+    #: Backchannel queue capacity (ServerQSize).
+    queue_size: int = 100
+    #: Fraction of broadcast slots offered to pulls (PullBW).
+    pull_bw: float = 0.5
+    #: Threshold as a fraction of the major cycle (ThresPerc).
+    thresh_perc: float = 0.0
+    #: Apply the Offset transform (all paper results use it).
+    offset: bool = True
+    #: Pages removed from the push program (Experiment 3's chopping).
+    chop: int = 0
+
+    def __post_init__(self):
+        if self.db_size < 1:
+            raise ValueError("db_size must be positive")
+        if len(self.disk_sizes) != len(self.rel_freqs):
+            raise ValueError("disk_sizes and rel_freqs must align")
+        if sum(self.disk_sizes) != self.db_size:
+            raise ValueError(
+                f"disk sizes {self.disk_sizes} must sum to db_size "
+                f"{self.db_size}")
+        if any(s < 1 for s in self.disk_sizes):
+            raise ValueError("disk sizes must be positive")
+        if any(f < 1 for f in self.rel_freqs):
+            raise ValueError("relative frequencies must be positive")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be positive")
+        if not 0.0 <= self.pull_bw <= 1.0:
+            raise ValueError("pull_bw must be within [0, 1]")
+        if not 0.0 <= self.thresh_perc <= 1.0:
+            raise ValueError("thresh_perc must be within [0, 1]")
+        if not 0 <= self.chop < self.db_size:
+            raise ValueError("chop must leave at least one broadcast page")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Simulation-control parameters (Section 4's methodology).
+
+    Steady-state runs warm the MC cache, settle for ``settle_accesses``
+    further accesses ("measurements started only 4000 accesses after the
+    cache filled up"), then measure ``measure_accesses`` accesses.
+    """
+
+    #: Accesses between cache-full and the measured phase.
+    settle_accesses: int = 4000
+    #: Accesses measured for the reported statistics.
+    measure_accesses: int = 5000
+    #: RNG seed.
+    seed: int = 0
+    #: Hard cap on simulated broadcast units (guards runaway runs).
+    max_slots: int = 50_000_000
+    #: Model the VC as blocking on each response (reference engine only;
+    #: the paper's aggregate VC is open-loop, see DESIGN.md §4).
+    vc_closed_loop: bool = False
+
+    def __post_init__(self):
+        if self.settle_accesses < 0:
+            raise ValueError("settle_accesses must be non-negative")
+        if self.measure_accesses < 1:
+            raise ValueError("measure_accesses must be positive")
+        if self.max_slots < 1:
+            raise ValueError("max_slots must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated system: algorithm + client + server + run."""
+
+    algorithm: Algorithm = Algorithm.IPP
+    client: ClientConfig = field(default_factory=ClientConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
+    run: RunConfig = field(default_factory=RunConfig)
+
+    def __post_init__(self):
+        if (self.algorithm is Algorithm.PURE_PUSH
+                and self.server.chop > 0):
+            raise ValueError(
+                "Pure-Push cannot chop pages: a missed non-broadcast page "
+                "would never arrive")
+        if self.client.cache_size > self.server.disk_sizes[-1]:
+            raise ValueError(
+                "the Offset transform requires cache_size to fit on the "
+                "slowest disk")
+
+    # -- derived views --------------------------------------------------------
+    @property
+    def pull_bw(self) -> float:
+        """PullBW in force after the algorithm's override."""
+        return self.algorithm.effective_pull_bw(self.server.pull_bw)
+
+    @property
+    def thresh_perc(self) -> float:
+        """ThresPerc in force after the algorithm's override."""
+        return self.algorithm.effective_thresh_perc(self.server.thresh_perc)
+
+    def with_(self, **updates) -> "SystemConfig":
+        """Return a copy with nested fields replaced.
+
+        Accepts top-level field names plus dotted shorthands expanded by
+        sub-config: ``client__think_time_ratio=250`` etc.
+        """
+        top: dict = {}
+        nested: dict[str, dict] = {"client": {}, "server": {}, "run": {}}
+        for key, value in updates.items():
+            if "__" in key:
+                section, field_name = key.split("__", 1)
+                if section not in nested:
+                    raise TypeError(f"unknown config section {section!r}")
+                nested[section][field_name] = value
+            else:
+                top[key] = value
+        for section, fields in nested.items():
+            if fields:
+                top[section] = replace(getattr(self, section), **fields)
+        return replace(self, **top)
+
+
+#: Table 3 — the paper's experiment settings, verbatim.
+PAPER_SETTINGS: Mapping[str, tuple] = {
+    "CacheSize": (100,),
+    "ThinkTime": (20,),
+    "ThinkTimeRatio": (10, 25, 50, 100, 250),
+    "SteadyStatePerc": (0.0, 0.95),
+    "Noise": (0.0, 0.15, 0.35),
+    "ZipfTheta": (0.95,),
+    "ServerDBSize": (1000,),
+    "NumDisks": (3,),
+    "DiskSizes": ((100, 400, 500),),
+    "RelFreqs": ((3, 2, 1),),
+    "ServerQSize": (100,),
+    "PullBW": (0.10, 0.20, 0.30, 0.40, 0.50),
+    "ThresPerc": (0.0, 0.10, 0.25, 0.35),
+}

@@ -1,0 +1,243 @@
+"""The readable event-driven reference engine.
+
+This engine models the system exactly as Figure 2 of the paper draws it,
+one process per entity on the :mod:`repro.sim` kernel:
+
+- a **server process** that emits one slot per broadcast unit (via the
+  shared :class:`~repro.server.broadcast_server.BroadcastServer` state
+  machine) and publishes each completed page to waiting clients,
+- an **MC process** running the request–think loop with a real cache,
+- a **VC process** generating the aggregate backchannel load with
+  exponential think times — open-loop by default, optionally closed-loop
+  (``RunConfig.vc_closed_loop``) where the generated client blocks until
+  its page is broadcast.
+
+It is an order of magnitude slower than :class:`~repro.core.fast.FastEngine`
+but shares every component with it (server, caches, filters, workloads), so
+agreement between the two validates the fast engine's shortcuts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.build import SystemState, build_system
+from repro.core.config import SystemConfig
+from repro.core.fast import SimulationStall
+from repro.core.metrics import RunResult, TallySnapshot
+from repro.server.broadcast_server import SlotKind
+from repro.sim import Environment, Event
+
+__all__ = ["ReferenceEngine"]
+
+
+class ReferenceEngine:
+    """Process-per-entity simulation of one configured system."""
+
+    def __init__(self, config: SystemConfig, state: SystemState | None = None):
+        self.config = config
+        self.state = state if state is not None else build_system(config)
+        self.env = Environment()
+        # One pending event per page someone is waiting for; fired (and
+        # replaced) when the page completes on the frontchannel.
+        self._arrivals: dict[int, Event] = {}
+        #: Page currently being transmitted (None between slots / idle).
+        self._on_air: Optional[int] = None
+        self._vc_rng = np.random.default_rng(
+            np.random.SeedSequence((config.run.seed, 0xBEEF)))
+        # Phase control.
+        self._warmup_mode = False
+        self._phase = "warm"
+        self._settle_done = 0
+        self._measured_done = 0
+        self._measure_start = 0.0
+        self._end_time: Optional[float] = None
+        self._qlen_sum = 0
+        self._qlen_slots = 0
+
+    # -- public protocol --------------------------------------------------------
+    def run(self) -> RunResult:
+        """Steady-state protocol: warm, settle, measure."""
+        return self._execute(warmup_mode=False)
+
+    def run_warmup(self) -> RunResult:
+        """Warm-up protocol (Figure 4)."""
+        if self.state.mc.warmup is None:
+            raise ValueError("warm-up runs need a non-empty cache")
+        return self._execute(warmup_mode=True)
+
+    # -- orchestration -------------------------------------------------------------
+    def _execute(self, warmup_mode: bool) -> RunResult:
+        self._warmup_mode = warmup_mode
+        if warmup_mode:
+            self._phase = "measure"
+            self._begin_measure()
+        # The MC starts before the server so a boundary-aligned access is
+        # processed before the slot tick — the same event order the fast
+        # engine and classic CSIM models use.
+        self.env.process(self._mc_process())
+        self.env.process(self._server_process())
+        if self.config.algorithm.uses_backchannel:
+            self.env.process(self._vc_process())
+        max_slots = self.config.run.max_slots
+        while self._end_time is None:
+            if not self.env.peek() < max_slots:
+                raise SimulationStall(
+                    f"run exceeded max_slots={max_slots}")
+            self.env.step()
+        return self._result()
+
+    def _begin_measure(self) -> None:
+        state = self.state
+        state.mc.measuring = True
+        state.mc.reset_stats()
+        state.server.reset_stats()
+        state.vc.reset_stats()
+        self._measure_start = self.env.now
+
+    def _access_completed(self, completion: float) -> None:
+        """Phase bookkeeping run after every completed MC access."""
+        mc = self.state.mc
+        if self._phase == "measure":
+            if self._warmup_mode:
+                if mc.warmup is not None and mc.warmup.complete:
+                    self._end_time = completion
+            else:
+                self._measured_done += 1
+                if self._measured_done >= self.config.run.measure_accesses:
+                    self._end_time = completion
+        elif self._phase == "warm":
+            if mc.cache.is_full:
+                self._phase = "settle"
+        else:
+            self._settle_done += 1
+            if self._settle_done >= self.config.run.settle_accesses:
+                self._phase = "measure"
+                self._begin_measure()
+
+    # -- processes -------------------------------------------------------------------
+    def _arrival_event(self, page: int) -> Event:
+        event = self._arrivals.get(page)
+        if event is None:
+            event = self.env.event()
+            self._arrivals[page] = event
+        return event
+
+    def _server_process(self):
+        from repro.sim.core import URGENT
+
+        server = self.state.server
+        env = self.env
+        while True:
+            if self._phase == "measure":
+                self._qlen_sum += len(server.queue)
+                self._qlen_slots += 1
+            page, _kind = server.tick()
+            self._on_air = page
+            # End-of-slot deliveries must become visible BEFORE any client
+            # activity at the same instant (a fresh miss at the boundary
+            # cannot catch a transmission that already finished), so the
+            # slot ends at urgent priority...
+            yield env.timeout(1.0, priority=URGENT)
+            if page is not None:
+                event = self._arrivals.pop(page, None)
+                if event is not None:
+                    event.succeed(env.now)
+            self._on_air = None
+            # ...and the next tick re-enters at normal priority so a
+            # boundary-aligned client request (scheduled long ago, lower
+            # sequence number) is processed before the server frees queue
+            # capacity — the CSIM event order the fast engine mirrors.
+            yield env.timeout(0.0)
+
+    def _obtain(self, page: int, send_pull: bool):
+        """Shared client-side miss handling (used by MC and closed-loop VC).
+
+        Yields until ``page`` completes on the frontchannel; the caller
+        decides (via ``send_pull``) whether a backchannel request goes out
+        first.
+        """
+        if send_pull:
+            self.state.server.queue.offer(page)
+        arrival = self._arrival_event(page)
+        value = yield arrival
+        return value
+
+    def _mc_process(self):
+        mc = self.state.mc
+        threshold = self.state.mc_threshold
+        server = self.state.server
+        uses_backchannel = self.config.algorithm.uses_backchannel
+        env = self.env
+        while True:
+            now = env.now
+            page = mc.draw_page()
+            if mc.lookup(page, now):
+                self._access_completed(now)
+            else:
+                send_pull = False
+                if uses_backchannel:
+                    send_pull = threshold.passes(page, server.schedule_pos)
+                    if send_pull:
+                        mc.record_pull_sent()
+                arrived_at = yield from self._obtain(page, send_pull)
+                mc.receive(page, now, arrived_at)
+                self._access_completed(arrived_at)
+            if self._end_time is not None:
+                return
+            yield env.timeout(mc.think_time)
+
+    def _vc_process(self):
+        vc = self.state.vc
+        env = self.env
+        server = self.state.server
+        closed_loop = self.config.run.vc_closed_loop
+        mean_gap = 1.0 / vc.rate
+        while True:
+            yield env.timeout(self._vc_rng.exponential(mean_gap))
+            survivors = list(vc.requests_for_slot(1, server.schedule_pos))
+            if not survivors:
+                continue
+            page = survivors[0]
+            if closed_loop:
+                yield from self._obtain(page, send_pull=True)
+            else:
+                server.queue.offer(page)
+
+    # -- results ------------------------------------------------------------------------
+    def _result(self) -> RunResult:
+        state = self.state
+        mc = state.mc
+        server = state.server
+        assert self._end_time is not None
+        warmup_times = None
+        if self._warmup_mode and mc.warmup is not None:
+            warmup_times = dict(mc.warmup.crossing_times)
+        queue_length_mean = (
+            self._qlen_sum / self._qlen_slots if self._qlen_slots else 0.0)
+        return RunResult(
+            algorithm=self.config.algorithm.value,
+            seed=self.config.run.seed,
+            response_miss=TallySnapshot.of(mc.response_miss),
+            response_all=TallySnapshot.of(mc.response_all),
+            mc_hits=mc.hits,
+            mc_misses=mc.misses,
+            mc_pulls_sent=mc.pulls_sent,
+            requests_enqueued=server.queue.enqueued,
+            requests_duplicate=server.queue.duplicates,
+            requests_dropped=server.queue.dropped,
+            requests_served=server.queue.served,
+            slots_push=server.slot_counts[SlotKind.PUSH],
+            slots_pull=server.slot_counts[SlotKind.PULL],
+            slots_padding=server.slot_counts[SlotKind.PADDING],
+            slots_idle=server.slot_counts[SlotKind.IDLE],
+            queue_length_mean=queue_length_mean,
+            measured_slots=self._end_time - self._measure_start,
+            total_slots=self._end_time,
+            vc_generated=state.vc.generated,
+            vc_absorbed=state.vc.absorbed_by_cache,
+            vc_filtered=state.vc.filtered_by_threshold,
+            warmup_times=warmup_times,
+        )

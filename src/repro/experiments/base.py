@@ -1,0 +1,203 @@
+"""Sweep infrastructure shared by every experiment.
+
+A figure is a set of *series*; a series is a curve of (x, y) points; each
+point aggregates one or more seeded simulation runs.  Runs are independent,
+so sweeps optionally fan out over a process pool — every input is a plain
+dataclass and every output a :class:`~repro.core.metrics.RunResult`, both
+picklable by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.fast import FastEngine
+from repro.core.metrics import RunResult
+
+__all__ = [
+    "Profile",
+    "QUICK",
+    "FULL",
+    "PointStats",
+    "FigureSeries",
+    "FigureResult",
+    "run_replicated",
+    "run_sweep",
+    "PAPER_TTRS",
+]
+
+#: Table 3's ThinkTimeRatio grid.
+PAPER_TTRS: tuple[int, ...] = (10, 25, 50, 100, 250)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Run-scale knobs applied uniformly across a figure's sweeps."""
+
+    #: MC accesses between cache-full and measurement.
+    settle_accesses: int
+    #: MC accesses measured.
+    measure_accesses: int
+    #: Independent seeded replicates averaged per point.
+    replicates: int
+    #: Process-pool width (None = sequential).
+    workers: Optional[int] = None
+    #: Base seed; replicate ``r`` of a point uses ``base_seed + r``.
+    base_seed: int = 42
+    #: Cap for warm-up runs (broadcast units).
+    max_slots: int = 50_000_000
+
+    def apply(self, config: SystemConfig, seed: int) -> SystemConfig:
+        """Stamp run-scale settings and a seed onto ``config``."""
+        return config.with_(
+            run__settle_accesses=self.settle_accesses,
+            run__measure_accesses=self.measure_accesses,
+            run__seed=seed,
+            run__max_slots=self.max_slots,
+        )
+
+
+#: Fast shape-check profile (used by the benchmark suite).
+QUICK = Profile(settle_accesses=500, measure_accesses=800, replicates=1)
+#: Paper-scale profile (used by ``repro-broadcast figures --full``).
+FULL = Profile(settle_accesses=4000, measure_accesses=5000, replicates=3,
+               workers=None)
+
+
+@dataclass(frozen=True)
+class PointStats:
+    """Aggregate of one sweep point's replicates."""
+
+    mean: float
+    stddev: float
+    replicates: int
+    #: Mean server drop rate across replicates.
+    drop_rate: float
+    #: The raw per-replicate results (kept for diagnostics).
+    results: tuple[RunResult, ...] = field(repr=False, default=())
+
+    @classmethod
+    def of(cls, results: Sequence[RunResult],
+           metric: Callable[[RunResult], float]) -> "PointStats":
+        """Aggregate ``results`` under ``metric``."""
+        values = [metric(r) for r in results]
+        return cls(
+            mean=statistics.fmean(values),
+            stddev=(statistics.stdev(values) if len(values) > 1 else 0.0),
+            replicates=len(values),
+            drop_rate=statistics.fmean(r.drop_rate for r in results),
+            results=tuple(results),
+        )
+
+
+@dataclass
+class FigureSeries:
+    """One labelled curve of a figure."""
+
+    label: str
+    x: list[float]
+    points: list[PointStats]
+
+    @property
+    def y(self) -> list[float]:
+        """The curve's y values (point means)."""
+        return [p.mean for p in self.points]
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: the same series the paper plots."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[FigureSeries]
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> FigureSeries:
+        """Find a series by its label (raises KeyError if absent)."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(label)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the figure."""
+        return {
+            "figure": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "notes": list(self.notes),
+            "series": [
+                {
+                    "label": s.label,
+                    "x": list(s.x),
+                    "y": list(s.y),
+                    "drop_rate": [p.drop_rate for p in s.points],
+                }
+                for s in self.series
+            ],
+        }
+
+
+def _execute(task: tuple[SystemConfig, bool]) -> RunResult:
+    """Process-pool entry point: run one configured simulation."""
+    config, warmup = task
+    engine = FastEngine(config)
+    return engine.run_warmup() if warmup else engine.run()
+
+
+def run_sweep(configs: Sequence[SystemConfig], warmup: bool = False,
+              workers: Optional[int] = None) -> list[RunResult]:
+    """Run many independent simulations, optionally on a process pool."""
+    tasks = [(config, warmup) for config in configs]
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [_execute(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute, tasks))
+
+
+def run_replicated(config: SystemConfig, profile: Profile,
+                   warmup: bool = False,
+                   metric: Callable[[RunResult], float] | None = None,
+                   ) -> PointStats:
+    """Run one sweep point's replicates and aggregate them."""
+    if metric is None:
+        metric = lambda r: r.response_miss.mean  # noqa: E731
+    configs = [profile.apply(config, profile.base_seed + r)
+               for r in range(profile.replicates)]
+    results = run_sweep(configs, warmup=warmup, workers=profile.workers)
+    stats = PointStats.of(results, metric)
+    if any(math.isnan(v) for v in (stats.mean,)):
+        raise RuntimeError(f"sweep point produced NaN: {config}")
+    return stats
+
+
+def sweep_series(label: str, configs: Sequence[SystemConfig],
+                 xs: Sequence[float], profile: Profile,
+                 warmup: bool = False,
+                 metric: Callable[[RunResult], float] | None = None,
+                 ) -> FigureSeries:
+    """Run a whole curve: one replicated point per (x, config) pair."""
+    if len(configs) != len(xs):
+        raise ValueError("configs and xs must align")
+    if metric is None:
+        metric = lambda r: r.response_miss.mean  # noqa: E731
+    # Flatten (point, replicate) so a process pool can chew the whole curve.
+    flat: list[SystemConfig] = []
+    for config in configs:
+        flat.extend(profile.apply(config, profile.base_seed + r)
+                    for r in range(profile.replicates))
+    results = run_sweep(flat, warmup=warmup, workers=profile.workers)
+    points = []
+    for i in range(len(configs)):
+        chunk = results[i * profile.replicates:(i + 1) * profile.replicates]
+        points.append(PointStats.of(chunk, metric))
+    return FigureSeries(label=label, x=list(xs), points=points)

@@ -1,0 +1,51 @@
+"""Experiment 2 — reducing backchannel usage with thresholds (Section 4.2).
+
+Figures 6(a)/6(b): IPP response time across server loads for ThresPerc in
+{0%, 10%, 25%, 35%}, at PullBW 50% and 30%.  The headline result is the
+scalability gain: each threshold step moves the crossover with Pure-Push
+to a larger client population.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import Algorithm
+from repro.experiments.base import (
+    FigureResult,
+    Profile,
+    sweep_series,
+)
+from repro.experiments.experiment1 import _base, _flat_push_series
+
+__all__ = ["figure_6", "FIGURE6_TTRS"]
+
+#: Figure 6 samples the load axis more densely than Figure 3.
+FIGURE6_TTRS: tuple[int, ...] = (10, 25, 35, 50, 75, 100, 250)
+
+
+def figure_6(profile: Profile, pull_bw: float,
+             ttrs=FIGURE6_TTRS) -> FigureResult:
+    """Figure 6(a) for ``pull_bw=0.50``, Figure 6(b) for ``pull_bw=0.30``."""
+    series = [_flat_push_series("Push", _base(Algorithm.PURE_PUSH),
+                                ttrs, profile)]
+    pull_configs = [_base(Algorithm.PURE_PULL, client__think_time_ratio=ttr)
+                    for ttr in ttrs]
+    series.append(sweep_series("Pull", pull_configs, ttrs, profile))
+    for thresh in (0.35, 0.25, 0.10, 0.0):
+        configs = [
+            _base(Algorithm.IPP,
+                  client__think_time_ratio=ttr,
+                  server__pull_bw=pull_bw,
+                  server__thresh_perc=thresh)
+            for ttr in ttrs
+        ]
+        series.append(sweep_series(f"IPP ThresPerc {thresh:.0%}",
+                                   configs, ttrs, profile))
+    figure_id = "6a" if pull_bw >= 0.5 else "6b"
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Influence of threshold on response time "
+              f"(PullBW={pull_bw:.0%})",
+        x_label="Think Time Ratio",
+        y_label="Response Time (Broadcast Units)",
+        series=series,
+    )

@@ -1,0 +1,102 @@
+"""Experiment 3 — restricting the push schedule (Section 4.3).
+
+Figures 7(a)/7(b) chop pages off the slow end of the broadcast (the whole
+third disk, then part of the second) and show that removed pages are only
+safe when enough pull bandwidth exists to fetch them on demand.  Figure 8
+sweeps server load for several chop depths at PullBW=30%, ThresPerc=35%,
+showing the ordering of the chopped programs inverting as the system
+saturates.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import Algorithm
+from repro.experiments.base import (
+    FigureResult,
+    PAPER_TTRS,
+    Profile,
+    sweep_series,
+)
+from repro.experiments.experiment1 import _base, _flat_push_series
+
+__all__ = ["figure_7", "figure_8", "CHOP_STEPS"]
+
+#: Figure 7's x axis: number of non-broadcast pages.
+CHOP_STEPS: tuple[int, ...] = (0, 100, 200, 300, 400, 500, 600, 700)
+
+
+def figure_7(profile: Profile, thresh_perc: float,
+             chops=CHOP_STEPS, think_time_ratio: int = 25) -> FigureResult:
+    """Figure 7(a) for ``thresh_perc=0.0``, 7(b) for ``thresh_perc=0.35``.
+
+    Pure-Push keeps the full database on its program (a client could never
+    recover a missing page without a backchannel) and Pure-Pull has no
+    program at all, so both are flat reference lines exactly as in the
+    paper.
+    """
+    series = [
+        _flat_push_series(
+            "Push",
+            _base(Algorithm.PURE_PUSH,
+                  client__think_time_ratio=think_time_ratio),
+            chops, profile),
+        # Pure-Pull ignores the push program entirely; one point suffices.
+        _flat_push_series(
+            "Pull",
+            _base(Algorithm.PURE_PULL,
+                  client__think_time_ratio=think_time_ratio),
+            chops, profile),
+    ]
+    for pull_bw in (0.10, 0.30, 0.50):
+        configs = [
+            _base(Algorithm.IPP,
+                  client__think_time_ratio=think_time_ratio,
+                  server__pull_bw=pull_bw,
+                  server__thresh_perc=thresh_perc,
+                  server__chop=chop)
+            for chop in chops
+        ]
+        series.append(sweep_series(f"IPP PullBW {pull_bw:.0%}",
+                                   configs, chops, profile))
+    figure_id = "7a" if thresh_perc == 0.0 else "7b"
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Restricting push contents (ThresPerc={thresh_perc:.0%}, "
+              f"ThinkTimeRatio={think_time_ratio})",
+        x_label="Number of Non-Broadcast Pages",
+        y_label="Response Time (Broadcast Units)",
+        series=series,
+    )
+
+
+def figure_8(profile: Profile, ttrs=PAPER_TTRS,
+             chops=(0, 200, 300, 500, 700)) -> FigureResult:
+    """Figure 8: load sensitivity of restricted push programs.
+
+    PullBW = 30%, ThresPerc = 35%; one IPP curve per chop depth.
+    """
+    series = [
+        _flat_push_series("Push", _base(Algorithm.PURE_PUSH), ttrs, profile),
+    ]
+    pull_configs = [_base(Algorithm.PURE_PULL, client__think_time_ratio=ttr)
+                    for ttr in ttrs]
+    series.append(sweep_series("Pull", pull_configs, ttrs, profile))
+    for chop in chops:
+        label = "IPP Full DB" if chop == 0 else f"IPP -{chop}"
+        configs = [
+            _base(Algorithm.IPP,
+                  client__think_time_ratio=ttr,
+                  server__pull_bw=0.30,
+                  server__thresh_perc=0.35,
+                  server__chop=chop)
+            for ttr in ttrs
+        ]
+        series.append(sweep_series(label, configs, ttrs, profile))
+    return FigureResult(
+        figure_id="8",
+        title="Server load sensitivity for restricted push "
+              "(PullBW=30%, ThresPerc=35%)",
+        x_label="Think Time Ratio",
+        y_label="Response Time (Broadcast Units)",
+        series=series,
+    )

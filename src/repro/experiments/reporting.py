@@ -1,0 +1,119 @@
+"""Render regenerated figures as tables and terminal-friendly charts."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.base import FigureResult
+
+__all__ = ["format_table", "render_figure", "render_ascii_chart"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain monospace table with right-aligned numeric columns."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "-"
+            return f"{value:,.1f}" if abs(value) >= 10 else f"{value:.2f}"
+        return str(value)
+
+    grid = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in grid))
+        if grid else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in grid:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureResult, show_drop_rates: bool = False) -> str:
+    """Render a figure as '<x> | <series...>' rows, paper-style."""
+    xs = figure.series[0].x if figure.series else []
+    headers = [figure.x_label] + [s.label for s in figure.series]
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for series in figure.series:
+            row.append(series.points[i].mean
+                       if i < len(series.points) else math.nan)
+        rows.append(row)
+    parts = [
+        f"Figure {figure.figure_id}: {figure.title}",
+        f"(y = {figure.y_label})",
+        format_table(headers, rows),
+    ]
+    if show_drop_rates:
+        drop_rows = []
+        for i, x in enumerate(xs):
+            row = [x]
+            for series in figure.series:
+                row.append(series.points[i].drop_rate * 100.0
+                           if i < len(series.points) else math.nan)
+            drop_rows.append(row)
+        parts.append("Server drop rates (%):")
+        parts.append(format_table(headers, drop_rows))
+    if figure.notes:
+        parts.extend(f"note: {note}" for note in figure.notes)
+    return "\n".join(parts)
+
+
+#: Plot glyphs cycled across series.
+_MARKS = "*o+x#@%&"
+
+
+def render_ascii_chart(figure: FigureResult, width: int = 68,
+                       height: int = 18) -> str:
+    """Plot a figure as an ASCII scatter chart (series share the canvas).
+
+    X positions use the index of each x value (the paper's load axes are
+    log-ish grids, so index spacing reads better than linear scaling);
+    the y axis is linear from 0 to the maximum plotted value.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    xs = figure.series[0].x if figure.series else []
+    if not xs:
+        return "(empty figure)"
+    y_max = max((max(series.y) for series in figure.series if series.y),
+                default=0.0)
+    if y_max <= 0:
+        y_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(figure.series):
+        mark = _MARKS[index % len(_MARKS)]
+        for position, value in enumerate(series.y):
+            if math.isnan(value):
+                continue
+            col = (position * (width - 1) // max(len(series.y) - 1, 1))
+            row = height - 1 - round(value / y_max * (height - 1))
+            grid[row][col] = mark
+    lines = [f"Figure {figure.figure_id} — {figure.y_label} "
+             f"(y max {y_max:,.0f})"]
+    for row_index, row in enumerate(grid):
+        label = f"{y_max * (height - 1 - row_index) / (height - 1):>9,.0f} |"
+        lines.append(label + "".join(row))
+    axis = " " * 10 + "+" + "-" * (width - 1)
+    lines.append(axis)
+    tick_line = [" "] * (width + 11)
+    for position, x in enumerate(xs):
+        col = 11 + position * (width - 1) // max(len(xs) - 1, 1)
+        text = f"{x:g}"
+        # Slide the final label left so it is never truncated.
+        col = min(col, len(tick_line) - len(text))
+        for offset, char in enumerate(text):
+            tick_line[col + offset] = char
+    lines.append("".join(tick_line).rstrip())
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={series.label}"
+        for i, series in enumerate(figure.series))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Server-side machinery.
+
+- :class:`~repro.server.queue.BoundedRequestQueue` — the finite FIFO
+  backchannel queue with duplicate suppression and drop accounting,
+- :class:`~repro.server.mux.PushPullMux` — the PullBW-weighted coin that
+  chooses per slot between the periodic program and a queued pull,
+- :class:`~repro.server.broadcast_server.BroadcastServer` — the per-slot
+  server state machine shared by both simulation engines.
+"""
+
+from repro.server.queue import BoundedRequestQueue, Offer
+from repro.server.mux import PushPullMux
+from repro.server.broadcast_server import BroadcastServer, SlotKind
+
+__all__ = [
+    "BoundedRequestQueue",
+    "Offer",
+    "PushPullMux",
+    "BroadcastServer",
+    "SlotKind",
+]

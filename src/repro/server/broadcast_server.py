@@ -1,0 +1,88 @@
+"""The per-slot server state machine, shared by both simulation engines.
+
+Each broadcast unit the server emits exactly one slot: a pull response, a
+push-program page, a padded empty program slot, or an idle slot (no program
+and nothing queued).  Both the reference (event-driven) and the fast
+(slot-driven) engine call :meth:`BroadcastServer.tick` once per slot, so the
+two implementations share identical server semantics by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.broadcast.schedule import Schedule
+from repro.server.mux import PushPullMux
+from repro.server.queue import BoundedRequestQueue
+
+__all__ = ["BroadcastServer", "SlotKind"]
+
+
+class SlotKind(enum.Enum):
+    """What a broadcast slot carried."""
+
+    PUSH = "push"      #: a page from the periodic program
+    PULL = "pull"      #: a queued backchannel request
+    PADDING = "padding"  #: an empty program slot (chunk padding)
+    IDLE = "idle"      #: no program and an empty queue (Pure-Pull only)
+
+
+class BroadcastServer:
+    """Broadcast server: periodic program + bounded pull queue + MUX."""
+
+    def __init__(self, schedule: Optional[Schedule], queue_size: int,
+                 pull_bw: float, rng: np.random.Generator):
+        """Args:
+            schedule: the push program, or None for Pure-Pull (which must
+                then use ``pull_bw = 1.0``).
+            queue_size: backchannel queue capacity (``ServerQSize``).
+            pull_bw: fraction of slots offered to pulls (``PullBW``).
+            rng: seeded generator for the MUX coin.
+        """
+        if schedule is None and pull_bw < 1.0:
+            raise ValueError("a push program is required when pull_bw < 1")
+        self.schedule = schedule
+        self.queue = BoundedRequestQueue(queue_size)
+        self.mux = PushPullMux(pull_bw, rng)
+        self.schedule_pos = 0
+        # Slot accounting by kind.
+        self.slot_counts: dict[SlotKind, int] = {kind: 0 for kind in SlotKind}
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently queued on the backchannel."""
+        return len(self.queue)
+
+    def request(self, page: int):
+        """Present a backchannel request (see :class:`BoundedRequestQueue`)."""
+        return self.queue.offer(page)
+
+    def tick(self) -> tuple[Optional[int], SlotKind]:
+        """Emit the next slot: ``(page or None, slot kind)``.
+
+        The periodic program's position advances only when the slot actually
+        carries a program entry (page or padding), so pull responses delay —
+        rather than consume — the push schedule.
+        """
+        if self.mux.wants_pull() and len(self.queue) > 0:
+            page = self.queue.pop()
+            self.slot_counts[SlotKind.PULL] += 1
+            return page, SlotKind.PULL
+        if self.schedule is None:
+            self.slot_counts[SlotKind.IDLE] += 1
+            return None, SlotKind.IDLE
+        page = self.schedule.page_at(self.schedule_pos)
+        self.schedule_pos = (self.schedule_pos + 1) % len(self.schedule)
+        if page is None:
+            self.slot_counts[SlotKind.PADDING] += 1
+            return None, SlotKind.PADDING
+        self.slot_counts[SlotKind.PUSH] += 1
+        return page, SlotKind.PUSH
+
+    def reset_stats(self) -> None:
+        """Zero slot and queue counters at a measurement-phase boundary."""
+        self.slot_counts = {kind: 0 for kind in SlotKind}
+        self.queue.reset_stats()

@@ -1,0 +1,99 @@
+"""The bounded backchannel request queue (Section 2.2 / 3.2).
+
+The server holds outstanding pull requests in a FIFO queue of capacity
+``ServerQSize`` *distinct pages*.  An arriving request is dropped when the
+queue is full, and ignored when a request for the same page is already
+queued (the earlier broadcast will satisfy both — clients snoop on the
+frontchannel).  Clients get no feedback about either outcome.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+__all__ = ["BoundedRequestQueue", "Offer"]
+
+
+class Offer(enum.Enum):
+    """Outcome of presenting a request to the server queue."""
+
+    #: The request was queued; a pull slot will eventually broadcast it.
+    ENQUEUED = "enqueued"
+    #: A request for the same page was already queued (benign: the earlier
+    #: request's broadcast satisfies this client too).
+    DUPLICATE = "duplicate"
+    #: The queue was full; the request is thrown away with no feedback.
+    DROPPED = "dropped"
+
+
+class BoundedRequestQueue:
+    """FIFO queue of distinct page requests with drop-on-full semantics."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._fifo: deque[int] = deque()
+        self._queued: set[int] = set()
+        # Cumulative accounting, one counter per Offer outcome.
+        self.enqueued = 0
+        self.duplicates = 0
+        self.dropped = 0
+        self.served = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._queued
+
+    @property
+    def is_full(self) -> bool:
+        """True when another distinct request would be dropped."""
+        return len(self._fifo) >= self.capacity
+
+    @property
+    def offers(self) -> int:
+        """Total requests presented to the queue."""
+        return self.enqueued + self.duplicates + self.dropped
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered requests dropped because the queue was full.
+
+        Duplicates are excluded: a duplicated request is still satisfied by
+        the already-queued broadcast.
+        """
+        offers = self.offers
+        return self.dropped / offers if offers else 0.0
+
+    def offer(self, page: int) -> Offer:
+        """Present a pull request; returns what happened to it."""
+        if page in self._queued:
+            self.duplicates += 1
+            return Offer.DUPLICATE
+        if len(self._fifo) >= self.capacity:
+            self.dropped += 1
+            return Offer.DROPPED
+        self._fifo.append(page)
+        self._queued.add(page)
+        self.enqueued += 1
+        return Offer.ENQUEUED
+
+    def pop(self) -> int:
+        """Dequeue the oldest request for service (raises if empty)."""
+        page = self._fifo.popleft()
+        self._queued.remove(page)
+        self.served += 1
+        return page
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters (queue contents are kept).
+
+        Used when a run switches from the warm-up to the measured phase.
+        """
+        self.enqueued = 0
+        self.duplicates = 0
+        self.dropped = 0
+        self.served = 0

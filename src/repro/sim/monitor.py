@@ -1,0 +1,120 @@
+"""Statistics collectors for simulation output.
+
+:class:`Tally` accumulates per-observation statistics (response times);
+:class:`TimeWeighted` integrates a piecewise-constant signal over simulated
+time (queue lengths, occupancy).  Both use numerically stable streaming
+updates (Welford) so million-observation runs stay accurate.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Tally", "TimeWeighted"]
+
+
+class Tally:
+    """Streaming count / mean / variance / extrema of observations."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Tally") -> None:
+        """Fold another tally's observations into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max = other.min, other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (NaN below two observations)."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tally(count={self.count}, mean={self.mean:.4g}, "
+                f"min={self.min:.4g}, max={self.max:.4g})")
+
+
+class TimeWeighted:
+    """Time-average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes; :attr:`mean` is the
+    integral divided by elapsed time.
+    """
+
+    __slots__ = ("_start", "_last_time", "_value", "_area", "max")
+
+    def __init__(self, time: float = 0.0, value: float = 0.0):
+        self._start = time
+        self._last_time = time
+        self._value = value
+        self._area = 0.0
+        self.max = value
+
+    @property
+    def value(self) -> float:
+        """Current level of the signal."""
+        return self._value
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError("time moved backwards")
+        self._area += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self, now: float | None = None) -> float:
+        """Time-average from construction to ``now`` (default: last update)."""
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("now precedes the last recorded update")
+        elapsed = end - self._start
+        if elapsed == 0:
+            return self._value
+        area = self._area + self._value * (end - self._last_time)
+        return area / elapsed

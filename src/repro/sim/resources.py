@@ -1,0 +1,134 @@
+"""Waitable resources for the discrete-event kernel.
+
+Two primitives cover everything the broadcast model needs:
+
+- :class:`Store` — a FIFO buffer of items with optional capacity; ``get``
+  events fire when an item is available, ``put`` events when space exists.
+- :class:`Resource` — a counted resource (e.g. a server with *n* service
+  slots) with a FIFO wait queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.core import Environment, Event
+
+__all__ = ["Store", "Resource", "StoreFull"]
+
+
+class StoreFull(Exception):
+    """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
+
+
+class Store:
+    """A FIFO item buffer with optional bounded capacity.
+
+    ``put(item)`` and ``get()`` return events.  A ``put`` on a full store
+    waits until space frees; :meth:`put_nowait` raises instead (used to model
+    the paper's drop-on-full server queue at a higher level).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer is at capacity."""
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` has been accepted."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def put_nowait(self, item: Any) -> None:
+        """Accept ``item`` immediately or raise :class:`StoreFull`."""
+        if self._getters:
+            # A waiting consumer takes the item directly.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            return
+        if self.is_full:
+            raise StoreFull(f"store at capacity {self.capacity}")
+        self.items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the oldest available item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move queued puts into the buffer while capacity allows.
+            while self._putters and not self.is_full:
+                put_event, item = self._putters.popleft()
+                self.items.append(item)
+                put_event.succeed()
+                progressed = True
+            # Satisfy waiting getters from the buffer.
+            while self._getters and self.items:
+                self._getters.popleft().succeed(self.items.popleft())
+                progressed = True
+
+
+class Resource:
+    """A counted resource with FIFO queueing.
+
+    ``request()`` returns an event firing when a unit is granted; call
+    :meth:`release` exactly once per granted request.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event firing when a unit is granted (FIFO order)."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a granted unit, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            # Hand the unit straight to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

@@ -1,0 +1,64 @@
+"""The Noise perturbation of the measured client's access pattern.
+
+The broadcast program is generated from the *aggregate* (virtual client)
+access pattern, so it is "very likely sub-optimal for any single client"
+(Section 3.1).  ``Noise`` measures how far the measured client's pattern
+diverges: with ``Noise = 0`` the MC and VC rankings agree exactly; as Noise
+grows, an increasing fraction of the MC's ranking positions are swapped
+with randomly chosen positions, following the systematic perturbation of
+[Acha95a].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["perturb_ranking", "noisy_probabilities"]
+
+
+def perturb_ranking(ranking: Sequence[int], noise: float,
+                    rng: np.random.Generator) -> list[int]:
+    """Swap each ranking position with a random one with probability ``noise``.
+
+    Args:
+        ranking: hottest-first page ordering (the VC / server view).
+        noise: probability in [0, 1] that a given position participates in
+            a swap (the paper's ``Noise`` expressed as a fraction).
+        rng: seeded random generator.
+
+    Returns:
+        A new, perturbed hottest-first ordering for the measured client.
+    """
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be within [0, 1], got {noise}")
+    perturbed = list(ranking)
+    if noise == 0.0 or len(perturbed) < 2:
+        return perturbed
+    n = len(perturbed)
+    swap_mask = rng.random(n) < noise
+    partners = rng.integers(0, n, size=n)
+    for i in range(n):
+        if swap_mask[i]:
+            j = int(partners[i])
+            perturbed[i], perturbed[j] = perturbed[j], perturbed[i]
+    return perturbed
+
+
+def noisy_probabilities(rank_probabilities: np.ndarray, noise: float,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Per-page probabilities for an MC whose ranking is Noise-perturbed.
+
+    ``rank_probabilities[r]`` is the probability a client assigns to its
+    rank-``r`` page (e.g. a Zipf vector).  The VC maps rank *r* to page *r*;
+    the MC maps rank *r* to ``perturbed[r]``.  The result is indexed by
+    page id.
+    """
+    rank_probabilities = np.asarray(rank_probabilities, dtype=np.float64)
+    num_pages = rank_probabilities.size
+    perturbed = perturb_ranking(range(num_pages), noise, rng)
+    by_page = np.empty(num_pages, dtype=np.float64)
+    for rank, page in enumerate(perturbed):
+        by_page[page] = rank_probabilities[rank]
+    return by_page

@@ -1,0 +1,68 @@
+"""Zipf access distributions.
+
+The paper models skewed client access with a Zipf distribution ([Knut81])
+over the ``ServerDBSize`` pages: the page of rank *i* (1-based, hottest
+first) has probability proportional to ``1 / i**theta``.  Page ids are
+0-based here; by convention page id equals rank-1 for the *virtual* client,
+while the measured client's ranking may be perturbed by Noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_probabilities", "ZipfSampler"]
+
+
+def zipf_probabilities(num_pages: int, theta: float) -> np.ndarray:
+    """Normalized Zipf(θ) probabilities, hottest first.
+
+    ``theta = 0`` degenerates to uniform access; larger values skew harder.
+    """
+    if num_pages < 1:
+        raise ValueError("num_pages must be positive")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    ranks = np.arange(1, num_pages + 1, dtype=np.float64)
+    weights = ranks ** -theta
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Batched sampler for an arbitrary discrete page distribution.
+
+    Sampling is inverse-CDF via ``searchsorted``, which keeps million-draw
+    batches cheap and makes the draw order independent of the probability
+    vector's internal layout (important for seeded reproducibility across
+    noise settings).
+    """
+
+    def __init__(self, probabilities: np.ndarray, rng: np.random.Generator):
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.ndim != 1 or probabilities.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-D array")
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if not np.isclose(total, 1.0, rtol=1e-9, atol=1e-12):
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        self.probabilities = probabilities
+        self._cdf = np.cumsum(probabilities)
+        # Guard against floating-point shortfall at the top of the CDF.
+        self._cdf[-1] = 1.0
+        self._rng = rng
+
+    @property
+    def num_pages(self) -> int:
+        """Size of the page domain."""
+        return self.probabilities.size
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` page ids as an int64 array."""
+        uniforms = self._rng.random(size)
+        return np.searchsorted(self._cdf, uniforms, side="right")
+
+    def sample_one(self) -> int:
+        """Draw a single page id."""
+        return int(np.searchsorted(self._cdf, self._rng.random(),
+                                   side="right"))

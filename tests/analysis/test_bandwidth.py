@@ -1,0 +1,86 @@
+"""Unit tests for bandwidth-allocation theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bandwidth import (
+    ideal_mean_delay,
+    optimal_disk_split,
+    square_root_frequencies,
+)
+from repro.workload.zipf import zipf_probabilities
+
+
+class TestSquareRootFrequencies:
+    def test_shares_sum_to_one(self):
+        shares = square_root_frequencies(zipf_probabilities(100, 0.95))
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_proportional_to_sqrt(self):
+        shares = square_root_frequencies([0.64, 0.16, 0.16, 0.04])
+        assert shares[0] / shares[1] == pytest.approx(2.0)
+        assert shares[0] / shares[3] == pytest.approx(4.0)
+
+    def test_uniform_input_uniform_shares(self):
+        shares = square_root_frequencies([0.25] * 4)
+        assert np.allclose(shares, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            square_root_frequencies([])
+        with pytest.raises(ValueError):
+            square_root_frequencies([-0.1, 1.1])
+        with pytest.raises(ValueError):
+            square_root_frequencies([0.0, 0.0])
+
+
+class TestIdealMeanDelay:
+    def test_uniform_closed_form(self):
+        # n equal pages: (sum sqrt(1/n))^2 / 2 = n/2.
+        assert ideal_mean_delay([0.25] * 4) == pytest.approx(2.0)
+
+    def test_skew_beats_uniform(self):
+        skewed = ideal_mean_delay(zipf_probabilities(100, 1.0))
+        uniform = ideal_mean_delay([1 / 100] * 100)
+        assert skewed < uniform
+
+
+class TestOptimalDiskSplit:
+    def test_flat_disk_for_uniform_access(self):
+        """With uniform probabilities, multi-speed disks cannot help; any
+        split scores the same as a flat broadcast (n/2)."""
+        probs = [1 / 100] * 100
+        _, delay = optimal_disk_split(probs, rel_freqs=(1,), granularity=25)
+        assert delay == pytest.approx(50.0)
+
+    def test_split_improves_on_flat_for_skewed_access(self):
+        probs = zipf_probabilities(100, 1.0)
+        _, flat = optimal_disk_split(probs, rel_freqs=(1,), granularity=25)
+        _, tiered = optimal_disk_split(probs, rel_freqs=(4, 1),
+                                       granularity=25)
+        assert tiered < flat
+
+    def test_sizes_partition_database(self):
+        probs = zipf_probabilities(100, 0.95)
+        sizes, _ = optimal_disk_split(probs, rel_freqs=(3, 2, 1),
+                                      granularity=25)
+        assert sum(sizes) == 100
+        assert all(size > 0 for size in sizes)
+
+    def test_granularity_must_divide(self):
+        with pytest.raises(ValueError):
+            optimal_disk_split(zipf_probabilities(100, 0.95), (2, 1),
+                               granularity=30)
+
+    def test_too_coarse_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_disk_split(zipf_probabilities(100, 0.95), (3, 2, 1),
+                               granularity=50)
+
+    def test_hot_disk_is_small(self):
+        """The optimal fast disk holds few (hot) pages — the Broadcast
+        Disks design intuition."""
+        probs = zipf_probabilities(200, 1.0)
+        sizes, _ = optimal_disk_split(probs, rel_freqs=(5, 1),
+                                      granularity=25)
+        assert sizes[0] < sizes[1]

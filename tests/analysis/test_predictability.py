@@ -1,0 +1,75 @@
+"""Unit tests for the predictability / doze-mode model (footnote 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.predictability import (
+    doze_fraction,
+    expected_awake_slots,
+    slot_predictability,
+)
+
+
+class TestSlotPredictability:
+    def test_pure_push_is_fully_predictable(self):
+        assert slot_predictability(100, pull_bw=0.0) == 1.0
+
+    def test_pure_pull_program_is_never_predictable(self):
+        assert slot_predictability(0, pull_bw=1.0) == 0.0
+
+    def test_decays_with_distance(self):
+        values = [slot_predictability(d, 0.3) for d in (0, 5, 50)]
+        assert values == sorted(values, reverse=True)
+
+    def test_idle_queue_restores_predictability(self):
+        assert slot_predictability(10, 0.5, busy_fraction=0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_predictability(-1, 0.5)
+        with pytest.raises(ValueError):
+            slot_predictability(1, 1.5)
+        with pytest.raises(ValueError):
+            slot_predictability(1, 0.5, busy_fraction=-0.1)
+
+
+class TestExpectedAwakeSlots:
+    def test_pure_push_wakes_for_one_slot(self):
+        assert expected_awake_slots(25, pull_bw=0.0) == pytest.approx(1.0)
+
+    def test_saturated_pure_pull_never_sleeps_usefully(self):
+        assert math.isinf(expected_awake_slots(3, pull_bw=1.0))
+
+    def test_grows_with_pull_bandwidth(self):
+        values = [expected_awake_slots(20, bw) for bw in (0.0, 0.3, 0.6)]
+        assert values == sorted(values)
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.floats(min_value=0.0, max_value=0.9))
+    def test_at_least_the_transmission_slot(self, distance, pull_bw):
+        assert expected_awake_slots(distance, pull_bw) >= 1.0 - 1e-12
+
+
+class TestDozeFraction:
+    def test_pure_push_distant_page_mostly_dozes(self):
+        # Waiting 100 slots, awake for 1: doze fraction ~99%.
+        assert doze_fraction(100, 0.0) == pytest.approx(100 / 101)
+
+    def test_imminent_page_offers_no_doze(self):
+        assert doze_fraction(0, 0.0) == pytest.approx(0.0)
+
+    def test_saturated_pull_kills_doze(self):
+        assert doze_fraction(50, 1.0) == 0.0
+
+    @given(st.integers(min_value=0, max_value=300),
+           st.floats(min_value=0.0, max_value=0.95),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_always_a_fraction(self, distance, pull_bw, busy):
+        fraction = doze_fraction(distance, pull_bw, busy)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_monotone_decreasing_in_pull_bw(self):
+        values = [doze_fraction(40, bw) for bw in (0.0, 0.3, 0.6, 0.9)]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,89 @@
+"""Tests for the closed-form Pure-Push model, validated against simulation."""
+
+import math
+
+import pytest
+
+from repro.analysis.push_delay import (
+    expected_page_delay,
+    expected_push_response,
+    steady_cache_contents,
+)
+from repro.broadcast.program import Disk, DiskAssignment, build_schedule
+from repro.core.build import build_system
+from repro.core.fast import FastEngine
+from repro.workload.zipf import zipf_probabilities
+from tests.conftest import small_config
+from repro.core.algorithms import Algorithm
+
+
+def fig1_schedule():
+    return build_schedule(DiskAssignment((
+        Disk((0,), 4), Disk((1, 2), 2), Disk((3, 4, 5, 6), 1))))
+
+
+class TestExpectedPageDelay:
+    def test_even_spacing(self):
+        assert expected_page_delay(fig1_schedule(), 0) == pytest.approx(2.0)
+
+    def test_missing_page_infinite(self):
+        assert math.isinf(expected_page_delay(fig1_schedule(), 42))
+
+
+class TestSteadyCacheContents:
+    def test_pix_prefers_slow_hot_pages(self):
+        schedule = fig1_schedule()
+        probs = zipf_probabilities(7, 0.95)
+        cached = steady_cache_contents(probs, schedule, 2, metric="pix")
+        # Page 3 (hot among the slow disk, x=1) beats page 0 (x=4).
+        assert 3 in cached
+        assert 0 not in cached
+
+    def test_p_metric_is_hottest(self):
+        probs = zipf_probabilities(7, 0.95)
+        cached = steady_cache_contents(probs, None, 3, metric="p")
+        assert cached == frozenset({0, 1, 2})
+
+
+class TestExpectedPushResponse:
+    def test_all_pages_cached_gives_zero(self):
+        schedule = fig1_schedule()
+        probs = zipf_probabilities(7, 0.95)
+        assert expected_push_response(probs, schedule, 7,
+                                      stable_slots=7) == 0.0
+
+    def test_missing_missable_page_rejected(self):
+        schedule = build_schedule(DiskAssignment((Disk((0, 1), 1),)))
+        probs = zipf_probabilities(3, 0.95)  # page 2 not broadcast
+        # With no cache, the pull-only page is missable -> unbounded delay.
+        with pytest.raises(ValueError, match="not on the push program"):
+            expected_push_response(probs, schedule, 0)
+
+    def test_per_access_vs_per_miss(self):
+        schedule = fig1_schedule()
+        probs = zipf_probabilities(7, 0.95)
+        per_miss = expected_push_response(probs, schedule, 2, per_miss=True)
+        per_access = expected_push_response(probs, schedule, 2,
+                                            per_miss=False)
+        assert per_access < per_miss
+
+    def test_simulation_lies_between_closed_form_bounds(self):
+        """The headline validation: the Pure-Push simulator's measured mean
+        must land between the two churn-slot models of the warm cache
+        (stable residents = CacheSize and CacheSize - 1)."""
+        config = small_config(Algorithm.PURE_PUSH,
+                              run__measure_accesses=30_000,
+                              run__settle_accesses=500)
+        state = build_system(config)
+        cache_size = config.client.cache_size
+        optimistic = expected_push_response(
+            state.mc_probabilities, state.schedule, cache_size,
+            stable_slots=cache_size)
+        pessimistic = expected_push_response(
+            state.mc_probabilities, state.schedule, cache_size,
+            stable_slots=cache_size - 1)
+        result = FastEngine(config, state=state).run()
+        assert optimistic < pessimistic
+        # Allow a small statistical margin around the bracket.
+        assert optimistic * 0.97 <= result.response_miss.mean \
+            <= pessimistic * 1.03

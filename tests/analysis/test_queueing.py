@@ -1,0 +1,83 @@
+"""Unit tests for the M/M/1/K backchannel model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import MM1KQueue
+
+
+class TestValidation:
+    def test_rates_and_capacity(self):
+        with pytest.raises(ValueError):
+            MM1KQueue(-1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            MM1KQueue(1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            MM1KQueue(1.0, 1.0, 0)
+
+
+class TestStationaryDistribution:
+    def test_pmf_sums_to_one(self):
+        queue = MM1KQueue(0.8, 1.0, 10)
+        assert sum(queue.occupancy_pmf()) == pytest.approx(1.0)
+
+    def test_rho_one_is_uniform(self):
+        queue = MM1KQueue(1.0, 1.0, 4)
+        assert np.allclose(queue.occupancy_pmf(), 0.2)
+
+    def test_light_load_mostly_empty(self):
+        queue = MM1KQueue(0.1, 1.0, 10)
+        assert queue.occupancy_pmf()[0] > 0.89
+
+    def test_overload_mostly_full(self):
+        queue = MM1KQueue(10.0, 1.0, 5)
+        assert queue.occupancy_pmf()[5] > 0.89
+
+
+class TestDerivedMetrics:
+    def test_blocking_grows_with_load(self):
+        blocks = [MM1KQueue(lam, 1.0, 10).blocking_probability
+                  for lam in (0.2, 0.5, 1.0, 2.0, 5.0)]
+        assert blocks == sorted(blocks)
+        assert blocks[0] < 1e-6
+        assert blocks[-1] > 0.7
+
+    def test_overloaded_blocking_approaches_excess(self):
+        """At heavy overload, throughput pins at mu, so the block rate
+        approaches 1 - mu/lambda."""
+        queue = MM1KQueue(10.0, 1.0, 100)
+        assert queue.blocking_probability == pytest.approx(0.9, abs=0.01)
+
+    def test_throughput_bounded_by_service_rate(self):
+        queue = MM1KQueue(5.0, 1.0, 20)
+        assert queue.throughput <= 1.0 + 1e-9
+
+    def test_mean_occupancy_bounds(self):
+        queue = MM1KQueue(2.0, 1.0, 7)
+        assert 0 <= queue.mean_occupancy <= 7
+
+    def test_littles_law_consistency(self):
+        queue = MM1KQueue(0.7, 1.0, 15)
+        assert queue.mean_wait * queue.throughput == pytest.approx(
+            queue.mean_occupancy)
+
+    def test_zero_arrivals(self):
+        queue = MM1KQueue(0.0, 1.0, 5)
+        assert queue.blocking_probability == 0.0
+        assert queue.mean_wait == 0.0
+
+    def test_simulated_backchannel_diverges_from_mm1k(self):
+        """The paper's point (Section 5): dedup + slotted service make the
+        real backchannel kinder than the memoryless model under load —
+        its effective drop rate is below the M/M/1/K blocking bound."""
+        from repro.core.fast import FastEngine
+        from tests.conftest import small_config
+
+        config = small_config(client__think_time_ratio=60,
+                              run__measure_accesses=400)
+        result = FastEngine(config).run()
+        offered = result.vc_generated - result.vc_absorbed
+        lam = offered / result.measured_slots
+        model = MM1KQueue(lam, config.pull_bw,
+                          config.server.queue_size)
+        assert result.drop_rate < model.blocking_probability

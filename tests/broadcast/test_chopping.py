@@ -1,0 +1,74 @@
+"""Unit tests for restricted (chopped) push schedules."""
+
+import pytest
+
+from repro.broadcast.chopping import chop_assignment
+from repro.broadcast.offset import apply_offset
+from repro.broadcast.program import DiskAssignment
+
+
+def probabilities(n=20):
+    """Descending probabilities: page id == hotness rank."""
+    weights = [1.0 / (i + 1) for i in range(n)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def assignment():
+    return DiskAssignment.from_ranking(
+        list(range(20)), (4, 6, 10), (3, 2, 1))
+
+
+class TestChopAssignment:
+    def test_zero_chop_returns_same_assignment(self):
+        a = assignment()
+        assert chop_assignment(a, 0, probabilities()) is a
+
+    def test_negative_chop_rejected(self):
+        with pytest.raises(ValueError):
+            chop_assignment(assignment(), -1, probabilities())
+
+    def test_chopping_everything_rejected(self):
+        with pytest.raises(ValueError, match="at least one page"):
+            chop_assignment(assignment(), 20, probabilities())
+
+    def test_partial_chop_removes_coldest_of_slowest_disk(self):
+        chopped = chop_assignment(assignment(), 3, probabilities())
+        # Slowest disk held pages 10..19; 17, 18, 19 are coldest.
+        assert chopped.disks[2].pages == tuple(range(10, 17))
+        assert chopped.disks[0].pages == tuple(range(4))
+        assert chopped.disks[1].pages == tuple(range(4, 10))
+
+    def test_chop_entire_slowest_disk(self):
+        chopped = chop_assignment(assignment(), 10, probabilities())
+        assert chopped.num_disks == 2
+        assert [d.size for d in chopped.disks] == [4, 6]
+        assert [d.rel_freq for d in chopped.disks] == [3, 2]
+
+    def test_chop_spills_into_intermediate_disk(self):
+        chopped = chop_assignment(assignment(), 13, probabilities())
+        assert chopped.num_disks == 2
+        assert chopped.disks[1].pages == tuple(range(4, 7))
+
+    def test_survivor_order_is_preserved(self):
+        chopped = chop_assignment(assignment(), 12, probabilities())
+        # Slowest disk gone; 2 coldest of the middle disk (8, 9) gone.
+        assert chopped.disks[1].pages == (4, 5, 6, 7)
+
+    def test_offset_pages_are_chopped_last(self):
+        """With the offset program, the slowest disk carries the hottest
+        pages; a full-disk chop removes them, but a partial chop removes
+        the genuinely cold pages first."""
+        offset = apply_offset(list(range(20)), (4, 6, 10), (3, 2, 1),
+                              cache_size=5)
+        # Offset slowest disk: coldest ranks 15..19 then the hottest 0..4.
+        assert offset.slowest.pages == (15, 16, 17, 18, 19, 0, 1, 2, 3, 4)
+        # Chopping 9 removes 15..19 and then 4, 3, 2, 1 — the very hottest
+        # page is the last survivor on the broadcast.
+        chopped = chop_assignment(offset, 9, probabilities())
+        assert chopped.disks[2].pages == (0,)
+
+    def test_accepts_probability_mapping(self):
+        probs = {page: p for page, p in enumerate(probabilities())}
+        chopped = chop_assignment(assignment(), 3, probs)
+        assert chopped.disks[2].pages == tuple(range(10, 17))

@@ -1,0 +1,55 @@
+"""Unit tests for the Offset transform."""
+
+import pytest
+
+from repro.broadcast.offset import apply_offset, offset_page_order
+
+
+class TestOffsetPageOrder:
+    def test_rotates_hottest_to_back(self):
+        assert offset_page_order([0, 1, 2, 3, 4], cache_size=2) == \
+            [2, 3, 4, 0, 1]
+
+    def test_zero_cache_is_identity(self):
+        assert offset_page_order([3, 1, 2], cache_size=0) == [3, 1, 2]
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ValueError):
+            offset_page_order([0, 1], cache_size=-1)
+
+    def test_cache_as_large_as_database_rejected(self):
+        with pytest.raises(ValueError):
+            offset_page_order([0, 1, 2], cache_size=3)
+
+    def test_input_not_mutated(self):
+        ranking = [0, 1, 2, 3]
+        offset_page_order(ranking, cache_size=2)
+        assert ranking == [0, 1, 2, 3]
+
+
+class TestApplyOffset:
+    def test_paper_shape(self):
+        """With Table 3's layout, disk 1 holds ranks 100..199, disk 2 ranks
+        200..599, and the slowest disk the coldest 400 plus the 100 hottest."""
+        assignment = apply_offset(list(range(1000)), (100, 400, 500),
+                                  (3, 2, 1), cache_size=100)
+        assert assignment.disks[0].pages == tuple(range(100, 200))
+        assert assignment.disks[1].pages == tuple(range(200, 600))
+        assert assignment.disks[2].pages == (
+            tuple(range(600, 1000)) + tuple(range(100)))
+
+    def test_hottest_pages_land_on_slowest_disk(self):
+        assignment = apply_offset(list(range(20)), (4, 6, 10), (3, 2, 1),
+                                  cache_size=5)
+        slowest = set(assignment.slowest.pages)
+        assert set(range(5)) <= slowest
+
+    def test_cache_too_big_for_slowest_disk_rejected(self):
+        with pytest.raises(ValueError, match="slowest disk"):
+            apply_offset(list(range(20)), (10, 6, 4), (3, 2, 1),
+                         cache_size=5)
+
+    def test_disk_sizes_preserved(self):
+        assignment = apply_offset(list(range(20)), (4, 6, 10), (3, 2, 1),
+                                  cache_size=5)
+        assert [d.size for d in assignment.disks] == [4, 6, 10]

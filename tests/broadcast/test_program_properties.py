@@ -1,0 +1,81 @@
+"""Property-based tests of schedule generation over random disk layouts."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.program import Disk, DiskAssignment, build_schedule
+
+
+@st.composite
+def assignments(draw):
+    """Random valid disk assignments (2-4 disks, descending frequencies)."""
+    num_disks = draw(st.integers(min_value=1, max_value=4))
+    freqs = sorted(
+        draw(st.lists(st.integers(min_value=1, max_value=6),
+                      min_size=num_disks, max_size=num_disks)),
+        reverse=True)
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=12),
+                          min_size=num_disks, max_size=num_disks))
+    disks = []
+    next_page = 0
+    for size, freq in zip(sizes, freqs):
+        disks.append(Disk(tuple(range(next_page, next_page + size)), freq))
+        next_page += size
+    return DiskAssignment(tuple(disks))
+
+
+@settings(max_examples=80)
+@given(assignments())
+def test_every_page_broadcast_proportionally(assignment):
+    """Page frequency in the cycle is exactly the disk's relative speed
+    times the number of minor-cycle groups its chunk participates in —
+    i.e. freq(page on disk i) == rel_freq_i."""
+    schedule = build_schedule(assignment)
+    for disk in assignment.disks:
+        for page in disk.pages:
+            assert schedule.frequency(page) == disk.rel_freq
+
+
+@settings(max_examples=80)
+@given(assignments())
+def test_cycle_is_lcm_structured(assignment):
+    schedule = build_schedule(assignment)
+    lcm = 1
+    for disk in assignment.disks:
+        lcm = math.lcm(lcm, disk.rel_freq)
+    # Minor cycle divides the major cycle exactly lcm times.
+    assert schedule.minor_cycle is not None
+    assert len(schedule) == schedule.minor_cycle * lcm
+    # Broadcast slots + padding fully account for the cycle.
+    page_slots = sum(disk.size * disk.rel_freq for disk in assignment.disks)
+    assert len(schedule) == page_slots + schedule.num_empty_slots
+
+
+@settings(max_examples=50)
+@given(assignments())
+def test_equal_spacing_for_exactly_divisible_disks(assignment):
+    """A page's broadcasts are spread across minor cycles: consecutive
+    appearances are never bunched inside one minor cycle."""
+    schedule = build_schedule(assignment)
+    minor = schedule.minor_cycle
+    for disk in assignment.disks:
+        for page in disk.pages:
+            if disk.rel_freq == 1:
+                continue
+            gaps = schedule.spacings(page)
+            assert all(gap >= minor for gap in gaps) or len(gaps) == 1
+
+
+@settings(max_examples=60)
+@given(assignments(), st.integers(min_value=0, max_value=200))
+def test_distance_consistent_with_slots(assignment, slot):
+    schedule = build_schedule(assignment)
+    slot %= len(schedule)
+    for disk in assignment.disks:
+        page = disk.pages[0]
+        distance = schedule.distance(page, slot)
+        assert schedule.page_at(slot + distance) == page
+        # No earlier appearance.
+        for d in range(distance):
+            assert schedule.page_at(slot + d) != page

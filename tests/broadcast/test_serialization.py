@@ -1,0 +1,100 @@
+"""Round-trip tests for broadcast-program serialization."""
+
+import json
+
+import pytest
+
+from repro.broadcast.program import Disk, DiskAssignment, build_schedule
+from repro.broadcast.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+def fig1_assignment():
+    return DiskAssignment((
+        Disk((0,), 4), Disk((1, 2), 2), Disk((3, 4, 5, 6), 1)))
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip_preserves_layout(self):
+        original = fig1_assignment()
+        clone = assignment_from_dict(assignment_to_dict(original))
+        assert clone == original
+
+    def test_json_compatible(self):
+        text = json.dumps(assignment_to_dict(fig1_assignment()))
+        clone = assignment_from_dict(json.loads(text))
+        assert clone.num_pages == 7
+
+    def test_version_checked(self):
+        data = assignment_to_dict(fig1_assignment())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            assignment_from_dict(data)
+
+    def test_invalid_layout_rejected_on_load(self):
+        data = assignment_to_dict(fig1_assignment())
+        data["disks"][0]["rel_freq"] = 0  # invalid
+        with pytest.raises(ValueError):
+            assignment_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_is_verbatim(self):
+        schedule = build_schedule(fig1_assignment())
+        clone = schedule_from_dict(schedule_to_dict(schedule))
+        assert clone.slots == schedule.slots
+        assert clone.minor_cycle == schedule.minor_cycle
+        assert clone.assignment == schedule.assignment
+
+    def test_padding_slots_preserved(self):
+        schedule = build_schedule(DiskAssignment((
+            Disk((0,), 2), Disk((1, 2, 3), 1))))
+        assert schedule.num_empty_slots == 1
+        text = json.dumps(schedule_to_dict(schedule))
+        clone = schedule_from_dict(json.loads(text))
+        assert clone.num_empty_slots == 1
+        assert clone.slots == schedule.slots
+
+    def test_queries_survive_round_trip(self):
+        schedule = build_schedule(fig1_assignment())
+        clone = schedule_from_dict(schedule_to_dict(schedule))
+        for page in range(7):
+            assert clone.frequency(page) == schedule.frequency(page)
+            assert clone.expected_delay(page) == schedule.expected_delay(page)
+        for slot in range(len(schedule)):
+            assert clone.distance(3, slot) == schedule.distance(3, slot)
+
+    def test_schedule_without_assignment(self):
+        from repro.broadcast.schedule import Schedule
+
+        bare = Schedule((0, 1, None))
+        clone = schedule_from_dict(schedule_to_dict(bare))
+        assert clone.assignment is None
+        assert clone.slots == (0, 1, None)
+
+    def test_version_checked(self):
+        data = schedule_to_dict(build_schedule(fig1_assignment()))
+        del data["version"]
+        with pytest.raises(ValueError, match="format version"):
+            schedule_from_dict(data)
+
+
+class TestPropertyRoundTrips:
+    def test_random_assignments_round_trip(self):
+        from hypothesis import given, settings
+        from tests.broadcast.test_program_properties import assignments
+
+        @settings(max_examples=40)
+        @given(assignments())
+        def check(assignment):
+            clone = assignment_from_dict(assignment_to_dict(assignment))
+            assert clone == assignment
+            schedule = build_schedule(assignment)
+            schedule_clone = schedule_from_dict(schedule_to_dict(schedule))
+            assert schedule_clone.slots == schedule.slots
+
+        check()

@@ -1,0 +1,89 @@
+"""Unit tests for the LIX online approximation of PIX."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import Cache
+from repro.cache.lix import LixPolicy
+from repro.cache.pix import PixPolicy
+from repro.workload.zipf import ZipfSampler, zipf_probabilities
+
+
+class TestLixPolicy:
+    def test_smoothing_validated(self):
+        with pytest.raises(ValueError):
+            LixPolicy({}, smoothing=0.0)
+        with pytest.raises(ValueError):
+            LixPolicy({}, smoothing=1.5)
+
+    def test_victim_on_empty_cache_raises(self):
+        with pytest.raises(RuntimeError):
+            LixPolicy({0: 1}).choose_victim()
+
+    def test_prefers_evicting_frequently_broadcast_pages(self):
+        """Two pages accessed at the same rate: the one rebroadcast more
+        often is cheaper to refetch and goes first."""
+        policy = LixPolicy({0: 4, 1: 1})
+        cache = Cache(2, policy)
+        cache.insert(0, now=0.0)
+        cache.insert(1, now=0.0)
+        for t in (1.0, 2.0, 3.0):
+            cache.access(0, now=t)
+            cache.access(1, now=t)
+        assert policy.choose_victim() == 0
+
+    def test_rarely_accessed_page_evicted_within_chain(self):
+        policy = LixPolicy({0: 1, 1: 1})
+        cache = Cache(2, policy)
+        cache.insert(0, now=0.0)
+        cache.insert(1, now=0.0)
+        for t in range(1, 20):
+            cache.access(0, now=float(t))  # page 0 is hot
+        cache.access(1, now=30.0)          # page 1 touched once, late
+        cache.access(0, now=31.0)
+        assert policy.choose_victim() == 1
+
+    def test_pull_only_page_joins_slowest_chain(self):
+        # Page 1 is pull-only; it competes at the slowest present
+        # frequency (2) instead of being frozen into the cache.
+        policy = LixPolicy({0: 2})
+        cache = Cache(2, policy)
+        cache.insert(1, now=0.0)
+        cache.insert(0, now=0.0)
+        for t in (1.0, 2.0, 3.0):
+            cache.access(0, now=t)  # page 0 is clearly hotter
+        cache.access(1, now=10.0)
+        cache.access(0, now=11.0)
+        assert policy.choose_victim() == 1
+
+    def test_eviction_churn_respects_capacity(self, rng):
+        policy = LixPolicy({p: 1 + p % 3 for p in range(10)})
+        cache = Cache(3, policy)
+        for step in range(2000):
+            page = int(rng.integers(0, 10))
+            if not cache.access(page, now=float(step)):
+                cache.insert(page, now=float(step))
+            assert len(cache) <= 3
+
+    def test_lix_approximates_pix_hit_rate(self):
+        """On a skewed workload with known probabilities, LIX's hit rate
+        should land near PIX's (the [Acha95b] claim)."""
+        probs = zipf_probabilities(40, 0.95)
+        freqs = {p: (3 if p < 8 else 1) for p in range(40)}
+
+        def run(policy):
+            rng = np.random.default_rng(123)
+            sampler = ZipfSampler(probs, rng)
+            cache = Cache(8, policy)
+            hits = 0
+            for step in range(30_000):
+                page = sampler.sample_one()
+                if cache.access(page, now=float(step)):
+                    hits += 1
+                else:
+                    cache.insert(page, now=float(step))
+            return hits / 30_000
+
+        pix_rate = run(PixPolicy(probs, freqs))
+        lix_rate = run(LixPolicy(freqs))
+        assert lix_rate >= pix_rate * 0.8

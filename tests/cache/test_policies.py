@@ -1,0 +1,116 @@
+"""Unit tests for PIX, P, and LRU replacement policies."""
+
+
+import pytest
+
+from repro.cache.base import Cache
+from repro.cache.lru import LruPolicy
+from repro.cache.p import PPolicy
+from repro.cache.pix import PixPolicy
+
+
+class TestPixPolicy:
+    def test_paper_example(self):
+        """p=0.3/x=4 is ejected before p=0.1/x=1 (Section 2.1)."""
+        probs = [0.3, 0.1, 0.6]
+        freqs = {0: 4, 1: 1, 2: 2}
+        cache = Cache(2, PixPolicy(probs, freqs))
+        cache.insert(0)  # pix 0.075
+        cache.insert(1)  # pix 0.1
+        evicted = cache.insert(2)  # pix 0.3
+        assert evicted == 0
+
+    def test_non_broadcast_page_valued_at_slowest_frequency(self):
+        """A pull-only page costs at least as much to refetch as the
+        slowest pushed page: same x, so probability decides."""
+        probs = [0.5, 0.4, 0.45]
+        freqs = {0: 1, 1: 1}  # page 2 is pull-only -> effective x = 1
+        policy = PixPolicy(probs, freqs)
+        assert policy.value(2)[0] == pytest.approx(0.45)
+        cache = Cache(2, policy)
+        cache.insert(2)
+        cache.insert(1)
+        assert cache.insert(0) == 1  # p=0.4 loses to the pull-only 0.45
+
+    def test_cold_pull_only_page_is_not_sticky(self):
+        """The degenerate freeze-out the naive infinite-value rule causes
+        must not happen: a cold chopped page is evicted before hot pages."""
+        probs = [0.6, 0.3, 0.1]
+        freqs = {0: 2, 1: 1}  # page 2 pull-only, valued at x=1
+        cache = Cache(2, PixPolicy(probs, freqs))
+        cache.insert(2)
+        cache.insert(1)
+        assert cache.insert(0) == 2
+
+    def test_tie_break_by_probability(self):
+        probs = [0.2, 0.1, 0.3]
+        freqs = {0: 1, 1: 1, 2: 1}  # equal frequencies: p decides
+        cache = Cache(2, PixPolicy(probs, freqs))
+        cache.insert(0)
+        cache.insert(2)
+        evicted = cache.insert(1)
+        assert evicted == 0  # lowest p among the equal-x pages
+
+    def test_reinsertion_after_eviction(self):
+        probs = [0.5, 0.3, 0.2]
+        freqs = {0: 1, 1: 1, 2: 1}
+        cache = Cache(2, PixPolicy(probs, freqs))
+        cache.insert(1)
+        cache.insert(2)
+        assert cache.insert(0) == 2
+        assert cache.insert(2) == 1
+        assert cache.pages == frozenset({0, 2})
+
+    def test_victim_on_empty_cache_raises(self):
+        policy = PixPolicy([1.0], {0: 1})
+        with pytest.raises(RuntimeError):
+            policy.choose_victim()
+
+
+class TestPPolicy:
+    def test_evicts_lowest_probability(self):
+        cache = Cache(2, PPolicy([0.5, 0.3, 0.2]))
+        cache.insert(2)
+        cache.insert(0)
+        assert cache.insert(1) == 2
+
+    def test_ignores_broadcast_frequency(self):
+        """P is pure probability — even a never-broadcast page with low p
+        is ejected before a hot page."""
+        cache = Cache(1, PPolicy([0.9, 0.1]))
+        cache.insert(1)
+        assert cache.insert(0) == 1
+
+
+class TestLruPolicy:
+    def test_evicts_least_recent(self):
+        cache = Cache(2, LruPolicy())
+        cache.insert(1, now=0.0)
+        cache.insert(2, now=1.0)
+        cache.access(1, now=2.0)  # refresh 1
+        assert cache.insert(3, now=3.0) == 2
+
+    def test_insertion_counts_as_use(self):
+        cache = Cache(2, LruPolicy())
+        cache.insert(1)
+        cache.insert(2)
+        assert cache.insert(3) == 1
+
+    def test_victim_on_empty_cache_raises(self):
+        with pytest.raises(RuntimeError):
+            LruPolicy().choose_victim()
+
+
+class TestPoliciesKeepCacheConsistent:
+    @pytest.mark.parametrize("make_policy", [
+        lambda: PixPolicy([0.4, 0.3, 0.2, 0.1], {0: 2, 1: 2, 2: 1, 3: 1}),
+        lambda: PPolicy([0.4, 0.3, 0.2, 0.1]),
+        lambda: LruPolicy(),
+    ])
+    def test_heavy_churn_respects_capacity(self, make_policy, rng):
+        cache = Cache(2, make_policy())
+        for step in range(500):
+            page = int(rng.integers(0, 4))
+            if not cache.access(page, now=float(step)):
+                cache.insert(page, now=float(step))
+            assert len(cache) <= 2

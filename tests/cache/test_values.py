@@ -1,0 +1,73 @@
+"""Unit tests for page-value metrics."""
+
+
+import pytest
+
+from repro.cache.values import page_values, rank_by_probability, top_valued_pages
+
+
+class TestPageValues:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            page_values([0.5, 0.5], {}, metric="wat")
+
+    def test_p_metric_ignores_frequencies(self):
+        values = page_values([0.6, 0.4], {0: 10, 1: 1}, metric="p")
+        assert values[0] == (0.6, 0.6)
+        assert values[1] == (0.4, 0.4)
+
+    def test_pix_metric_divides_by_frequency(self):
+        values = page_values([0.6, 0.4], {0: 3, 1: 2}, metric="pix")
+        assert values[0][0] == pytest.approx(0.2)
+        assert values[1][0] == pytest.approx(0.2)
+        # Tie on p/x broken by raw probability.
+        assert values[0][1] > values[1][1]
+
+    def test_missing_frequency_uses_slowest_disk(self):
+        values = page_values([0.1, 0.4], {0: 4, 1: 2}, metric="pix")
+        # Both pages present here; now drop page 1 from the program:
+        values = page_values([0.1, 0.4], {0: 4}, metric="pix")
+        assert values[1][0] == pytest.approx(0.4 / 4)
+
+    def test_empty_frequencies_fall_back_to_one(self):
+        values = page_values([0.1], {}, metric="pix")
+        assert values[0][0] == pytest.approx(0.1)
+
+    def test_none_frequencies_degrade_to_p(self):
+        values = page_values([0.7, 0.3], None, metric="pix")
+        assert values[0] == (0.7, 0.7)
+
+
+class TestTopValuedPages:
+    def test_p_metric_takes_hottest(self):
+        top = top_valued_pages([0.1, 0.5, 0.4], None, 2, metric="p")
+        assert top == frozenset({1, 2})
+
+    def test_pix_metric_prefers_slow_pages(self):
+        # Page 0 is hot but rebroadcast constantly; page 2 is cool but rare.
+        probs = [0.5, 0.3, 0.2]
+        freqs = {0: 10, 1: 2, 2: 1}
+        top = top_valued_pages(probs, freqs, 2, metric="pix")
+        assert top == frozenset({1, 2})
+
+    def test_count_zero(self):
+        assert top_valued_pages([1.0], {0: 1}, 0) == frozenset()
+
+    def test_count_negative_rejected(self):
+        with pytest.raises(ValueError):
+            top_valued_pages([1.0], {0: 1}, -1)
+
+    def test_pull_only_pages_compete_at_slowest_frequency(self):
+        probs = [0.4, 0.3, 0.2, 0.1]
+        freqs = {0: 1, 1: 1}  # pages 2, 3 pull-only -> effective x = 1
+        top = top_valued_pages(probs, freqs, 2, metric="pix")
+        # With equal effective frequencies, hotness decides.
+        assert top == frozenset({0, 1})
+
+
+class TestRankByProbability:
+    def test_orders_hottest_first(self):
+        assert rank_by_probability([0.1, 0.7, 0.2]) == [1, 2, 0]
+
+    def test_stable_for_ties(self):
+        assert rank_by_probability([0.4, 0.4, 0.2]) == [0, 1, 2]

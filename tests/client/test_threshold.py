@@ -1,0 +1,70 @@
+"""Unit tests for the ThresPerc filter."""
+
+import math
+
+import pytest
+
+from repro.broadcast.program import Disk, DiskAssignment, build_schedule
+from repro.client.threshold import ThresholdFilter
+
+
+def fig1_schedule():
+    return build_schedule(DiskAssignment((
+        Disk((0,), 4), Disk((1, 2), 2), Disk((3, 4, 5, 6), 1))))
+
+
+class TestThresholdFilter:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ThresholdFilter(fig1_schedule(), -0.1)
+        with pytest.raises(ValueError):
+            ThresholdFilter(fig1_schedule(), 1.01)
+
+    def test_no_schedule_passes_everything(self):
+        threshold = ThresholdFilter(None, 0.0)
+        assert threshold.passes(123, 0)
+
+    def test_zero_threshold_blocks_only_imminent_page(self):
+        threshold = ThresholdFilter(fig1_schedule(), 0.0)
+        # Page 0 occupies slot 0: distance 0 -> not worth a request.
+        assert not threshold.passes(0, 0)
+        # Page 3 (slot 2) is 2 slots away -> pull it.
+        assert threshold.passes(3, 0)
+
+    def test_quarter_cycle_threshold(self):
+        threshold = ThresholdFilter(fig1_schedule(), 0.25)
+        assert threshold.threshold_slots == pytest.approx(3.0)
+        # Page 2 appears at slot 4: distance 4 > 3 -> request.
+        assert threshold.passes(2, 0)
+        # Page 0 at distance <= 3 from anywhere -> never requested.
+        for pos in range(12):
+            assert not threshold.passes(0, pos)
+
+    def test_full_cycle_threshold_blocks_all_scheduled_pages(self):
+        """ThresPerc=100%: 'the client sends no requests since all pages
+        will appear within a major cycle'."""
+        threshold = ThresholdFilter(fig1_schedule(), 1.0)
+        for page in range(7):
+            for pos in range(12):
+                assert not threshold.passes(page, pos)
+
+    def test_non_broadcast_page_always_passes(self):
+        threshold = ThresholdFilter(fig1_schedule(), 1.0)
+        assert threshold.passes(42, 0)
+
+    def test_set_thresh_perc_retunes(self):
+        threshold = ThresholdFilter(fig1_schedule(), 0.0)
+        assert threshold.passes(2, 0)
+        threshold.set_thresh_perc(0.5)
+        assert threshold.threshold_slots == pytest.approx(6.0)
+        assert not threshold.passes(2, 0)
+        with pytest.raises(ValueError):
+            threshold.set_thresh_perc(2.0)
+
+    def test_max_push_wait(self):
+        threshold = ThresholdFilter(fig1_schedule(), 0.0)
+        # Page 3 at slot 2, from position 0: transmitted after 2 slots,
+        # complete one slot later.
+        assert threshold.max_push_wait(3, 0) == pytest.approx(3.0)
+        assert math.isinf(threshold.max_push_wait(42, 0))
+        assert math.isinf(ThresholdFilter(None, 0.0).max_push_wait(3, 0))

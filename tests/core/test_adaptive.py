@@ -1,0 +1,104 @@
+"""Unit tests for the adaptive PullBW/threshold controller."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveController, AdaptivePolicy
+from repro.core.fast import FastEngine
+from tests.conftest import small_config
+
+
+class TestAdaptivePolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"interval": 0},
+        {"low_drop": 0.5, "high_drop": 0.2},
+        {"min_pull_bw": 0.8, "max_pull_bw": 0.2},
+        {"min_thresh": 0.9, "max_thresh": 0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(**kwargs)
+
+
+class TestAdaptiveController:
+    def policy(self):
+        return AdaptivePolicy(interval=100, high_drop=0.10, low_drop=0.01,
+                              thresh_step=0.05, pull_bw_step=0.05,
+                              min_pull_bw=0.1, max_pull_bw=0.9,
+                              min_thresh=0.0, max_thresh=0.5)
+
+    def test_saturation_raises_threshold_and_lowers_pull_bw(self):
+        controller = AdaptiveController(self.policy(), 0.5, 0.0)
+        pull_bw, thresh = controller.decide(100.0, total_offers=100,
+                                            total_dropped=50)
+        assert thresh == pytest.approx(0.05)
+        assert pull_bw == pytest.approx(0.45)
+
+    def test_idle_relaxes_both(self):
+        controller = AdaptiveController(self.policy(), 0.5, 0.2)
+        pull_bw, thresh = controller.decide(100.0, total_offers=100,
+                                            total_dropped=0)
+        assert thresh == pytest.approx(0.15)
+        assert pull_bw == pytest.approx(0.55)
+
+    def test_moderate_drop_holds_steady(self):
+        controller = AdaptiveController(self.policy(), 0.5, 0.2)
+        pull_bw, thresh = controller.decide(100.0, total_offers=100,
+                                            total_dropped=5)
+        assert (pull_bw, thresh) == (0.5, 0.2)
+
+    def test_bounds_respected(self):
+        controller = AdaptiveController(self.policy(), 0.1, 0.5)
+        for step in range(20):
+            pull_bw, thresh = controller.decide(
+                float(step), total_offers=100 * (step + 1),
+                total_dropped=90 * (step + 1))
+        assert pull_bw == pytest.approx(0.1)
+        assert thresh == pytest.approx(0.5)
+
+    def test_counter_reset_resyncs(self):
+        controller = AdaptiveController(self.policy(), 0.5, 0.0)
+        controller.decide(1.0, total_offers=1000, total_dropped=500)
+        # Engine reset its counters; smaller totals must not underflow.
+        pull_bw, thresh = controller.decide(2.0, total_offers=10,
+                                            total_dropped=0)
+        assert 0.0 <= thresh <= 0.5
+        assert 0.1 <= pull_bw <= 0.9
+
+    def test_no_offers_counts_as_idle(self):
+        controller = AdaptiveController(self.policy(), 0.5, 0.2)
+        pull_bw, thresh = controller.decide(1.0, 0, 0)
+        assert thresh == pytest.approx(0.15)
+
+    def test_trace_recorded(self):
+        controller = AdaptiveController(self.policy(), 0.5, 0.0)
+        controller.decide(1.0, 10, 0)
+        controller.decide(2.0, 20, 10)
+        assert len(controller.trace) == 2
+        assert controller.trace[1][3] == pytest.approx(1.0)
+
+    def test_initial_values_clamped(self):
+        controller = AdaptiveController(self.policy(), 0.99, 0.99)
+        assert controller.pull_bw == 0.9
+        assert controller.thresh_perc == 0.5
+
+
+class TestAdaptiveEngineIntegration:
+    def test_controller_engages_under_saturation(self):
+        """Under heavy load the controller should have ratcheted the
+        threshold up / pull bandwidth down by the end of the run."""
+        config = small_config(client__think_time_ratio=100,
+                              run__measure_accesses=300)
+        policy = AdaptivePolicy(interval=500, high_drop=0.05)
+        controller = AdaptiveController(policy, config.server.pull_bw, 0.0)
+        FastEngine(config, controller=controller).run()
+        assert controller.trace  # decisions happened
+        assert (controller.thresh_perc > 0.0
+                or controller.pull_bw < config.server.pull_bw)
+
+    def test_controller_stays_relaxed_when_idle(self):
+        config = small_config(client__think_time_ratio=2,
+                              run__measure_accesses=200)
+        policy = AdaptivePolicy(interval=500)
+        controller = AdaptiveController(policy, 0.5, 0.3)
+        FastEngine(config, controller=controller).run()
+        assert controller.thresh_perc <= 0.3

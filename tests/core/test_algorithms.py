@@ -1,0 +1,34 @@
+"""Unit tests for algorithm descriptors."""
+
+from repro.core.algorithms import Algorithm
+
+
+class TestAlgorithm:
+    def test_push_program_presence(self):
+        assert Algorithm.PURE_PUSH.has_push_program
+        assert Algorithm.IPP.has_push_program
+        assert not Algorithm.PURE_PULL.has_push_program
+
+    def test_backchannel_usage(self):
+        assert not Algorithm.PURE_PUSH.uses_backchannel
+        assert Algorithm.PURE_PULL.uses_backchannel
+        assert Algorithm.IPP.uses_backchannel
+
+    def test_cache_metric_follows_footnote4(self):
+        assert Algorithm.PURE_PUSH.cache_metric == "pix"
+        assert Algorithm.IPP.cache_metric == "pix"
+        assert Algorithm.PURE_PULL.cache_metric == "p"
+
+    def test_effective_pull_bw(self):
+        assert Algorithm.PURE_PUSH.effective_pull_bw(0.5) == 0.0
+        assert Algorithm.PURE_PULL.effective_pull_bw(0.5) == 1.0
+        assert Algorithm.IPP.effective_pull_bw(0.5) == 0.5
+
+    def test_effective_thresh_perc(self):
+        assert Algorithm.PURE_PUSH.effective_thresh_perc(0.35) == 0.0
+        assert Algorithm.PURE_PULL.effective_thresh_perc(0.35) == 0.0
+        assert Algorithm.IPP.effective_thresh_perc(0.35) == 0.35
+
+    def test_round_trips_by_value(self):
+        for algorithm in Algorithm:
+            assert Algorithm(algorithm.value) is algorithm

@@ -1,0 +1,113 @@
+"""Unit tests for sweep infrastructure."""
+
+import math
+
+import pytest
+
+from repro.core.algorithms import Algorithm
+from repro.experiments.base import (
+    FigureResult,
+    FigureSeries,
+    PointStats,
+    Profile,
+    run_replicated,
+    run_sweep,
+    sweep_series,
+)
+from tests.conftest import small_config
+
+TINY = Profile(settle_accesses=20, measure_accesses=60, replicates=2,
+               base_seed=3)
+
+
+class TestProfile:
+    def test_apply_stamps_run_settings(self):
+        config = TINY.apply(small_config(), seed=9)
+        assert config.run.settle_accesses == 20
+        assert config.run.measure_accesses == 60
+        assert config.run.seed == 9
+
+    def test_builtin_profiles_match_methodology(self):
+        """FULL mirrors Section 4's methodology (4000 settle accesses);
+        QUICK is a strictly smaller shape-check."""
+        from repro.experiments.base import FULL, QUICK
+
+        assert FULL.settle_accesses == 4000
+        assert FULL.measure_accesses == 5000
+        assert FULL.replicates >= 2
+        assert QUICK.settle_accesses < FULL.settle_accesses
+        assert QUICK.measure_accesses < FULL.measure_accesses
+
+
+class TestRunSweep:
+    def test_sequential_runs_all(self):
+        configs = [TINY.apply(small_config(), seed=s) for s in (1, 2)]
+        results = run_sweep(configs)
+        assert len(results) == 2
+        assert {r.seed for r in results} == {1, 2}
+
+    def test_warmup_mode(self):
+        configs = [TINY.apply(small_config(), seed=1)]
+        results = run_sweep(configs, warmup=True)
+        assert results[0].warmup_times
+
+    def test_process_pool_matches_sequential(self):
+        configs = [TINY.apply(small_config(), seed=s) for s in (1, 2)]
+        sequential = run_sweep(configs)
+        pooled = run_sweep(configs, workers=2)
+        assert sequential == pooled
+
+
+class TestRunReplicated:
+    def test_aggregates_replicates(self):
+        stats = run_replicated(small_config(), TINY)
+        assert stats.replicates == 2
+        assert not math.isnan(stats.mean)
+        assert stats.stddev >= 0.0
+        assert len(stats.results) == 2
+
+    def test_custom_metric(self):
+        stats = run_replicated(small_config(), TINY,
+                               metric=lambda r: float(r.mc_hits))
+        assert stats.mean >= 0
+
+    def test_replicates_use_distinct_seeds(self):
+        stats = run_replicated(small_config(Algorithm.PURE_PULL), TINY)
+        seeds = {r.seed for r in stats.results}
+        assert seeds == {3, 4}
+
+
+class TestSweepSeries:
+    def test_series_shape(self):
+        configs = [small_config(client__think_time_ratio=ttr)
+                   for ttr in (2, 5)]
+        series = sweep_series("ipp", configs, [2, 5], TINY)
+        assert series.label == "ipp"
+        assert series.x == [2, 5]
+        assert len(series.points) == 2
+        assert len(series.y) == 2
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_series("x", [small_config()], [1, 2], TINY)
+
+
+class TestFigureResult:
+    def make(self):
+        point = PointStats(mean=1.0, stddev=0.0, replicates=1,
+                           drop_rate=0.25)
+        return FigureResult(
+            figure_id="3a", title="t", x_label="x", y_label="y",
+            series=[FigureSeries("Push", [1, 2], [point, point])])
+
+    def test_series_by_label(self):
+        figure = self.make()
+        assert figure.series_by_label("Push").label == "Push"
+        with pytest.raises(KeyError):
+            figure.series_by_label("nope")
+
+    def test_to_dict(self):
+        data = self.make().to_dict()
+        assert data["figure"] == "3a"
+        assert data["series"][0]["y"] == [1.0, 1.0]
+        assert data["series"][0]["drop_rate"] == [0.25, 0.25]

@@ -1,0 +1,110 @@
+"""Smoke tests for the figure generators (miniature grids).
+
+These verify the *wiring* of each experiment — series labels, sweep axes,
+parameter plumbing — on tiny load grids.  The paper-shape assertions live
+in tests/integration/test_paper_claims.py; full grids run in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure_3a,
+    figure_3b,
+    figure_4,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+)
+from repro.experiments.base import Profile
+
+TINY = Profile(settle_accesses=30, measure_accesses=60, replicates=1,
+               base_seed=5)
+
+
+class TestFigure3:
+    def test_3a_series(self):
+        figure = figure_3a(TINY, ttrs=(5, 10))
+        labels = [s.label for s in figure.series]
+        assert labels == ["Push", "Pull 0%", "IPP 0%", "Pull 95%",
+                          "IPP 95%"]
+        assert all(s.x == [5, 10] for s in figure.series)
+        assert figure.figure_id == "3a"
+
+    def test_3a_push_is_flat(self):
+        figure = figure_3a(TINY, ttrs=(5, 10))
+        push = figure.series_by_label("Push")
+        assert push.y[0] == push.y[1]
+
+    def test_3b_series(self):
+        figure = figure_3b(TINY, ttrs=(5,))
+        labels = [s.label for s in figure.series]
+        assert labels == ["Push", "Pull", "IPP PullBW 50%",
+                          "IPP PullBW 30%", "IPP PullBW 10%"]
+
+
+class TestFigure4:
+    def test_warmup_series_monotone(self):
+        figure = figure_4(TINY, think_time_ratio=5)
+        assert figure.figure_id == "4 (TTR=5)"
+        for series in figure.series:
+            assert series.x  # crossed at least one level
+            assert series.points == sorted(series.points,
+                                           key=lambda p: p.mean)
+
+    def test_x_axis_is_percentages(self):
+        figure = figure_4(TINY, think_time_ratio=5)
+        for series in figure.series:
+            assert all(10.0 <= x <= 95.0 for x in series.x)
+
+
+class TestFigure5:
+    def test_pull_variant_labels(self):
+        figure = figure_5(TINY, variant="pull", ttrs=(5,))
+        labels = [s.label for s in figure.series]
+        assert "Push Noise 0%" in labels
+        assert "Pull Noise 35%" in labels
+        assert figure.figure_id == "5a"
+
+    def test_ipp_variant_labels(self):
+        figure = figure_5(TINY, variant="ipp", ttrs=(5,))
+        assert any("IPP Noise" in s.label for s in figure.series)
+        assert figure.figure_id == "5b"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            figure_5(TINY, variant="bogus")
+
+
+class TestFigure6:
+    def test_series_and_id(self):
+        figure = figure_6(TINY, pull_bw=0.5, ttrs=(5,))
+        labels = [s.label for s in figure.series]
+        assert labels[0] == "Push"
+        assert "IPP ThresPerc 35%" in labels
+        assert "IPP ThresPerc 0%" in labels
+        assert figure.figure_id == "6a"
+        assert figure_6(TINY, pull_bw=0.3, ttrs=(5,)).figure_id == "6b"
+
+
+class TestFigure7:
+    def test_axes_are_chop_depths(self):
+        figure = figure_7(TINY, thresh_perc=0.35, chops=(0, 200),
+                          think_time_ratio=5)
+        assert figure.figure_id == "7b"
+        ipp = figure.series_by_label("IPP PullBW 50%")
+        assert ipp.x == [0, 200]
+
+    def test_reference_lines_flat(self):
+        figure = figure_7(TINY, thresh_perc=0.0, chops=(0, 200),
+                          think_time_ratio=5)
+        for label in ("Push", "Pull"):
+            series = figure.series_by_label(label)
+            assert series.y[0] == series.y[1]
+
+
+class TestFigure8:
+    def test_series(self):
+        figure = figure_8(TINY, ttrs=(5,), chops=(0, 200))
+        labels = [s.label for s in figure.series]
+        assert labels == ["Push", "Pull", "IPP Full DB", "IPP -200"]

@@ -1,0 +1,99 @@
+"""Unit tests for figure rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.base import FigureResult, FigureSeries, PointStats
+from repro.experiments.reporting import (
+    format_table,
+    render_ascii_chart,
+    render_figure,
+)
+
+
+def point(mean, drop=0.0):
+    return PointStats(mean=mean, stddev=0.0, replicates=1, drop_rate=drop)
+
+
+def figure():
+    return FigureResult(
+        figure_id="3a", title="Steady state", x_label="TTR",
+        y_label="Response Time",
+        series=[
+            FigureSeries("Push", [10, 250], [point(278.0), point(278.0)]),
+            FigureSeries("Pull", [10, 250], [point(2.0), point(700.0, 0.6)]),
+        ],
+        notes=["scaled profile"],
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(["a", "b"], [[1, 22.5], [333, 4.0]])
+        lines = table.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_nan_rendered_as_dash(self):
+        table = format_table(["v"], [[math.nan]])
+        assert "-" in table.splitlines()[-1]
+
+    def test_empty_rows(self):
+        table = format_table(["x", "y"], [])
+        assert "x" in table and "y" in table
+
+    def test_large_numbers_get_thousands_separator(self):
+        table = format_table(["v"], [[1234.5]])
+        assert "1,234.5" in table
+
+
+class TestRenderFigure:
+    def test_contains_title_series_and_values(self):
+        text = render_figure(figure())
+        assert "Figure 3a" in text
+        assert "Push" in text and "Pull" in text
+        assert "278.0" in text
+        assert "700.0" in text
+        assert "note: scaled profile" in text
+
+    def test_drop_rates_optional(self):
+        without = render_figure(figure())
+        with_rates = render_figure(figure(), show_drop_rates=True)
+        assert "drop rates" not in without.lower()
+        assert "drop rates" in with_rates.lower()
+        assert "60.0" in with_rates  # 0.6 -> percent
+
+
+class TestRenderAsciiChart:
+    def test_contains_marks_axis_and_legend(self):
+        chart = render_ascii_chart(figure())
+        assert "*" in chart and "o" in chart
+        assert "legend: *=Push  o=Pull" in chart
+        assert "+-" in chart  # the x axis
+
+    def test_y_scale_reports_max(self):
+        chart = render_ascii_chart(figure())
+        assert "y max 700" in chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(figure(), width=4)
+        with pytest.raises(ValueError):
+            render_ascii_chart(figure(), height=2)
+
+    def test_empty_figure(self):
+        empty = FigureResult(figure_id="x", title="t", x_label="x",
+                             y_label="y", series=[])
+        assert render_ascii_chart(empty) == "(empty figure)"
+
+    def test_flat_series_sits_on_one_row(self):
+        chart = render_ascii_chart(figure(), width=40, height=10)
+        rows_with_star = [line for line in chart.splitlines()
+                          if "*" in line and "=" not in line]
+        assert len(rows_with_star) == 1
+
+    def test_x_ticks_rendered(self):
+        chart = render_ascii_chart(figure())
+        assert "10" in chart and "250" in chart

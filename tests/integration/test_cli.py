@@ -1,0 +1,101 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.ids == []
+        assert not args.full
+
+
+class TestProgramCommand:
+    def test_prints_layout(self, capsys):
+        assert main(["program"]) == 0
+        out = capsys.readouterr().out
+        assert "major cycle: 1608 slots" in out
+        assert "disk 1: 100 pages" in out
+        assert "disk 3: 500 pages" in out
+
+    def test_chop_marks_pull_only_pages(self, capsys):
+        assert main(["program", "--chop", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "not broadcast (pull only)" in out
+
+    def test_no_offset(self, capsys):
+        assert main(["program", "--no-offset"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest: 0, 1, 2" in out
+
+
+class TestSimulateCommand:
+    def test_emits_json_metrics(self, capsys):
+        code = main(["simulate", "--algorithm", "pure-pull", "--ttr", "2",
+                     "--settle", "30", "--measure", "60"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] == "pure-pull"
+        assert data["response_miss"]["count"] > 0
+
+    def test_ipp_with_threshold_and_chop(self, capsys):
+        code = main(["simulate", "--algorithm", "ipp", "--ttr", "2",
+                     "--pull-bw", "0.5", "--thresh-perc", "0.35",
+                     "--chop", "500", "--settle", "30", "--measure", "40"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mc_misses"] > 0
+
+
+class TestTuneCommand:
+    def test_recommends_a_setting(self, capsys):
+        code = main(["tune", "--loads", "2", "--pull-bw", "0.5",
+                     "--thresh-perc", "0,0.35", "--settle", "20",
+                     "--measure", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended (worst_case)" in out
+        assert "ThresPerc" in out
+
+    def test_mean_objective(self, capsys):
+        code = main(["tune", "--loads", "2", "--pull-bw", "0.5",
+                     "--thresh-perc", "0", "--objective", "mean",
+                     "--settle", "20", "--measure", "40"])
+        assert code == 0
+        assert "recommended (mean)" in capsys.readouterr().out
+
+
+class TestFiguresCommand:
+    def test_unknown_figure_id(self, capsys):
+        assert main(["figures", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_runs_one_figure_and_writes_json(self, tmp_path, capsys,
+                                             monkeypatch):
+        # Shrink the quick profile so the test stays fast.
+        import repro.cli as cli
+        from repro.experiments import figure_3a
+        from repro.experiments.base import Profile
+
+        monkeypatch.setattr(
+            cli, "QUICK",
+            Profile(settle_accesses=20, measure_accesses=40, replicates=1))
+        monkeypatch.setattr(
+            cli, "ALL_FIGURES",
+            {"3a": lambda profile: figure_3a(profile, ttrs=(2, 5))})
+        code = main(["figures", "3a", "--json", str(tmp_path), "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out
+        assert "legend:" in out  # the --chart flag rendered a plot
+        data = json.loads((tmp_path / "figure_3a.json").read_text())
+        assert data["figure"] == "3a"
+        assert len(data["series"]) == 5

@@ -1,0 +1,123 @@
+"""Property-based and failure-injection tests of the simulation engines."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.algorithms import Algorithm
+from repro.core.fast import FastEngine
+from tests.conftest import small_config
+
+ENGINE_SETTINGS = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@ENGINE_SETTINGS
+@given(
+    algorithm=st.sampled_from(list(Algorithm)),
+    ttr=st.floats(min_value=0.5, max_value=40.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_run_invariants(algorithm, ttr, seed):
+    """Accounting invariants hold for every algorithm, load, and seed."""
+    config = small_config(algorithm,
+                          client__think_time_ratio=ttr,
+                          run__seed=seed,
+                          run__settle_accesses=20,
+                          run__measure_accesses=80)
+    result = FastEngine(config).run()
+
+    # The measured window contains exactly the configured accesses.
+    assert result.mc_hits + result.mc_misses == 80
+    assert result.response_all.count == 80
+    assert result.response_miss.count == result.mc_misses
+    # Response times are non-negative and bounded by the measured window.
+    if result.response_miss.count:
+        assert result.response_miss.min >= 0
+        assert result.response_miss.max <= result.total_slots
+    # Hits contribute zeros: the all-access mean is the diluted miss mean.
+    if result.mc_misses:
+        expected = result.response_miss.mean * result.mc_miss_rate
+        assert math.isclose(result.response_all.mean, expected,
+                            rel_tol=1e-9, abs_tol=1e-9)
+    # Queue accounting balances.
+    assert 0.0 <= result.drop_rate <= 1.0
+    assert result.requests_served <= result.requests_enqueued + 5
+    # Slot accounting matches the algorithm.
+    if algorithm is Algorithm.PURE_PULL:
+        assert result.slots_push == 0
+    if algorithm is Algorithm.PURE_PUSH:
+        assert result.slots_pull == 0
+        assert result.request_offers == 0
+
+
+@ENGINE_SETTINGS
+@given(
+    pull_bw=st.sampled_from((0.1, 0.3, 0.5, 0.9)),
+    thresh=st.sampled_from((0.0, 0.25, 0.75)),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_ipp_knobs_never_break_invariants(pull_bw, thresh, seed):
+    config = small_config(Algorithm.IPP,
+                          server__pull_bw=pull_bw,
+                          server__thresh_perc=thresh,
+                          run__seed=seed,
+                          run__settle_accesses=20,
+                          run__measure_accesses=60)
+    result = FastEngine(config).run()
+    # Pull never exceeds its bandwidth share by much (the MUX coin is an
+    # upper bound; sampling noise only).
+    assert result.pull_slot_share <= pull_bw + 0.15
+    assert result.mc_hits + result.mc_misses == 60
+
+
+@ENGINE_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_warmup_times_always_monotone(seed):
+    config = small_config(Algorithm.IPP, run__seed=seed)
+    result = FastEngine(config).run_warmup()
+    assert result.warmup_times is not None
+    levels = sorted(result.warmup_times)
+    times = [result.warmup_times[level] for level in levels]
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+class TestFailureInjection:
+    def test_tiny_queue_degrades_gracefully(self):
+        """A 1-slot queue drops nearly everything under load but the run
+        still completes with sane statistics."""
+        config = small_config(Algorithm.IPP,
+                              client__think_time_ratio=30.0,
+                              server__queue_size=1,
+                              run__measure_accesses=150)
+        result = FastEngine(config).run()
+        assert result.drop_rate > 0.3
+        assert result.response_miss.count == result.mc_misses
+
+    def test_starved_pull_bandwidth_still_terminates(self):
+        config = small_config(Algorithm.IPP,
+                              client__think_time_ratio=30.0,
+                              server__pull_bw=0.05,
+                              run__measure_accesses=100)
+        result = FastEngine(config).run()
+        # With 5% pull slots the push program carries nearly everything.
+        assert result.slots_push > result.slots_pull
+
+    def test_pathological_skew_terminates(self):
+        """θ=2 concentrates nearly all mass on one page; both extremes of
+        cache behaviour must still terminate."""
+        for cache in (0, 5):
+            config = small_config(Algorithm.IPP,
+                                  client__zipf_theta=2.0,
+                                  client__cache_size=cache,
+                                  run__measure_accesses=100)
+            result = FastEngine(config).run()
+            assert result.mc_hits + result.mc_misses == 100
+
+    def test_uniform_access_terminates(self):
+        config = small_config(Algorithm.IPP, client__zipf_theta=0.0,
+                              run__measure_accesses=100)
+        result = FastEngine(config).run()
+        assert result.mc_misses > 0

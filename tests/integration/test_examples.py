@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts run end-to-end and say sane things.
+
+Only the cheap configurations are exercised; the heavier scenario scripts
+are validated structurally (importable, callable mains) to keep the test
+suite fast.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestInventory:
+    def test_at_least_five_examples_exist(self):
+        assert len(ALL_EXAMPLES) >= 5
+        assert "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_examples_are_importable_scripts(self, name):
+        """Each example parses, imports, and exposes a main()."""
+        spec = importlib.util.spec_from_file_location(
+            f"example_{name[:-3]}", EXAMPLES_DIR / name)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)
+
+
+class TestQuickstartEndToEnd:
+    def test_runs_and_reports_all_algorithms(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "2"],
+            capture_output=True, text=True, timeout=240)
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "a b d a c e a b f a c g" in out  # Figure 1 verbatim
+        for algorithm in ("pure-push", "pure-pull", "ipp"):
+            assert algorithm in out

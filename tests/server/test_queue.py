@@ -1,0 +1,108 @@
+"""Unit and property tests for the bounded request queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.server.queue import BoundedRequestQueue, Offer
+
+
+class TestOfferSemantics:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(0)
+
+    def test_enqueue_until_full_then_drop(self):
+        queue = BoundedRequestQueue(2)
+        assert queue.offer(1) is Offer.ENQUEUED
+        assert queue.offer(2) is Offer.ENQUEUED
+        assert queue.offer(3) is Offer.DROPPED
+        assert len(queue) == 2
+
+    def test_duplicate_detected(self):
+        queue = BoundedRequestQueue(5)
+        queue.offer(7)
+        assert queue.offer(7) is Offer.DUPLICATE
+        assert len(queue) == 1
+
+    def test_duplicate_checked_before_capacity(self):
+        """A re-request of a queued page is a DUPLICATE even when full —
+        the paper's server 'will also ignore a new request for a page that
+        is already in the request queue'."""
+        queue = BoundedRequestQueue(1)
+        queue.offer(1)
+        assert queue.offer(1) is Offer.DUPLICATE
+
+    def test_fifo_pop_order(self):
+        queue = BoundedRequestQueue(10)
+        for page in (5, 3, 9):
+            queue.offer(page)
+        assert [queue.pop() for _ in range(3)] == [5, 3, 9]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedRequestQueue(2).pop()
+
+    def test_page_can_be_requeued_after_pop(self):
+        queue = BoundedRequestQueue(2)
+        queue.offer(4)
+        queue.pop()
+        assert queue.offer(4) is Offer.ENQUEUED
+
+    def test_contains(self):
+        queue = BoundedRequestQueue(2)
+        queue.offer(8)
+        assert 8 in queue and 9 not in queue
+
+
+class TestAccounting:
+    def test_counters(self):
+        queue = BoundedRequestQueue(2)
+        queue.offer(1)
+        queue.offer(1)
+        queue.offer(2)
+        queue.offer(3)
+        queue.pop()
+        assert queue.enqueued == 2
+        assert queue.duplicates == 1
+        assert queue.dropped == 1
+        assert queue.served == 1
+        assert queue.offers == 4
+
+    def test_drop_rate_excludes_duplicates_in_numerator_only(self):
+        queue = BoundedRequestQueue(1)
+        queue.offer(1)   # enqueued
+        queue.offer(1)   # duplicate
+        queue.offer(2)   # dropped
+        assert queue.drop_rate == pytest.approx(1 / 3)
+
+    def test_drop_rate_empty(self):
+        assert BoundedRequestQueue(1).drop_rate == 0.0
+
+    def test_reset_stats_keeps_contents(self):
+        queue = BoundedRequestQueue(3)
+        queue.offer(1)
+        queue.offer(2)
+        queue.reset_stats()
+        assert queue.enqueued == queue.dropped == queue.served == 0
+        assert len(queue) == 2
+        assert queue.pop() == 1
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 9)),
+                    max_size=300),
+           st.integers(min_value=1, max_value=5))
+    def test_queue_invariants_under_arbitrary_traffic(self, ops, capacity):
+        """Length never exceeds capacity; the dedup set mirrors the FIFO;
+        counters partition the offers."""
+        queue = BoundedRequestQueue(capacity)
+        for is_pop, page in ops:
+            if is_pop and len(queue):
+                queue.pop()
+            else:
+                queue.offer(page)
+            assert len(queue) <= capacity
+            assert len(queue._queued) == len(queue._fifo)
+            assert set(queue._fifo) == queue._queued
+        assert queue.offers == queue.enqueued + queue.duplicates + queue.dropped
+        assert queue.served + len(queue) == queue.enqueued

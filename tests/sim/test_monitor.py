@@ -1,0 +1,142 @@
+"""Unit and property tests for the statistics collectors."""
+
+import math
+import statistics
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Tally, TimeWeighted
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestTally:
+    def test_empty_tally(self):
+        tally = Tally()
+        assert tally.count == 0
+        assert math.isnan(tally.mean)
+        assert math.isnan(tally.variance)
+
+    def test_single_observation(self):
+        tally = Tally()
+        tally.add(5.0)
+        assert tally.count == 1
+        assert tally.mean == 5.0
+        assert tally.min == tally.max == 5.0
+        assert math.isnan(tally.variance)
+
+    def test_known_moments(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        tally = Tally()
+        for value in values:
+            tally.add(value)
+        assert tally.mean == pytest.approx(statistics.fmean(values))
+        assert tally.variance == pytest.approx(statistics.variance(values))
+        assert tally.stddev == pytest.approx(statistics.stdev(values))
+        assert tally.min == 2.0
+        assert tally.max == 9.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, values):
+        tally = Tally()
+        for value in values:
+            tally.add(value)
+        assert tally.mean == pytest.approx(np.mean(values), rel=1e-9,
+                                           abs=1e-6)
+        assert tally.variance == pytest.approx(np.var(values, ddof=1),
+                                               rel=1e-6, abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.lists(finite_floats, min_size=1, max_size=50))
+    def test_merge_equals_combined_stream(self, first, second):
+        separate = Tally()
+        for value in first:
+            separate.add(value)
+        other = Tally()
+        for value in second:
+            other.add(value)
+        separate.merge(other)
+
+        combined = Tally()
+        for value in first + second:
+            combined.add(value)
+        assert separate.count == combined.count
+        assert separate.mean == pytest.approx(combined.mean, rel=1e-9,
+                                              abs=1e-6)
+        assert separate.min == combined.min
+        assert separate.max == combined.max
+
+    def test_merge_empty_is_noop(self):
+        tally = Tally()
+        tally.add(1.0)
+        tally.merge(Tally())
+        assert tally.count == 1
+
+    def test_merge_into_empty_copies(self):
+        tally = Tally()
+        other = Tally()
+        other.add(3.0)
+        other.add(5.0)
+        tally.merge(other)
+        assert tally.count == 2
+        assert tally.mean == 4.0
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        tw = TimeWeighted(time=0.0, value=3.0)
+        assert tw.mean(now=10.0) == 3.0
+
+    def test_step_signal(self):
+        tw = TimeWeighted(time=0.0, value=0.0)
+        tw.update(4.0, 10.0)   # 0 for 4 units
+        tw.update(8.0, 0.0)    # 10 for 4 units
+        assert tw.mean(now=8.0) == pytest.approx(5.0)
+
+    def test_mean_extends_current_value(self):
+        tw = TimeWeighted(time=0.0, value=2.0)
+        tw.update(5.0, 4.0)
+        # 2*5 + 4*5 over 10 units.
+        assert tw.mean(now=10.0) == pytest.approx(3.0)
+
+    def test_zero_elapsed_returns_current_value(self):
+        tw = TimeWeighted(time=3.0, value=7.0)
+        assert tw.mean(now=3.0) == 7.0
+
+    def test_max_tracks_peaks(self):
+        tw = TimeWeighted()
+        tw.update(1.0, 9.0)
+        tw.update(2.0, 1.0)
+        assert tw.max == 9.0
+
+    def test_time_going_backwards_rejected(self):
+        tw = TimeWeighted()
+        tw.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(4.0, 2.0)
+
+    def test_mean_before_last_update_rejected(self):
+        tw = TimeWeighted()
+        tw.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.mean(now=4.0)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=10.0),
+                              finite_floats),
+                    min_size=1, max_size=50))
+    def test_piecewise_integral(self, segments):
+        tw = TimeWeighted(time=0.0, value=0.0)
+        now = 0.0
+        area = 0.0
+        value = 0.0
+        for duration, new_value in segments:
+            area += value * duration
+            now += duration
+            tw.update(now, new_value)
+            value = new_value
+        if now > 0:
+            assert tw.mean(now=now) == pytest.approx(area / now, rel=1e-9,
+                                                     abs=1e-6)

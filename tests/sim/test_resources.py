@@ -1,0 +1,164 @@
+"""Unit tests for Store and Resource."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store, StoreFull
+
+
+class TestStore:
+    def test_put_then_get_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        taken = []
+
+        def producer(env):
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                taken.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert taken == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put(1)
+            times.append(env.now)
+            yield store.put(2)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0.0, 3.0]
+
+    def test_put_nowait_raises_when_full(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        store.put_nowait("x")
+        store.put_nowait("y")
+        assert store.is_full
+        with pytest.raises(StoreFull):
+            store.put_nowait("z")
+
+    def test_put_nowait_hands_item_to_waiting_getter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append(item)
+
+        env.process(consumer(env))
+        env.run(until=1.0)
+        store.put_nowait("direct")
+        env.run(until=2.0)
+        assert got == ["direct"]
+        assert len(store) == 0
+
+    def test_len_counts_buffered_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put_nowait(1)
+        store.put_nowait(2)
+        assert len(store) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+
+class TestResource:
+    def test_request_grants_up_to_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        grants = []
+
+        def worker(env, tag):
+            yield resource.request()
+            grants.append((tag, env.now))
+            yield env.timeout(10.0)
+            resource.release()
+
+        for tag in range(3):
+            env.process(worker(env, tag))
+        env.run()
+        assert grants == [(0, 0.0), (1, 0.0), (2, 10.0)]
+
+    def test_queue_length_and_in_use(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def holder(env):
+            yield resource.request()
+            yield env.timeout(5.0)
+            resource.release()
+
+        def waiter(env):
+            yield resource.request()
+            resource.release()
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1.0)
+        assert resource.in_use == 1
+        assert resource.queue_length == 1
+        env.run(until=6.0)
+        assert resource.queue_length == 0
+
+    def test_release_without_request_raises(self):
+        resource = Resource(Environment(), capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_fifo_granting(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, tag, hold):
+            yield resource.request()
+            order.append(tag)
+            yield env.timeout(hold)
+            resource.release()
+
+        for tag in range(4):
+            env.process(worker(env, tag, 1.0))
+        env.run()
+        assert order == [0, 1, 2, 3]

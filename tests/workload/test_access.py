@@ -1,0 +1,76 @@
+"""Unit tests for buffered access streams and think-time rates."""
+
+import numpy as np
+import pytest
+
+from repro.workload.access import AccessStream, think_time_rate
+from repro.workload.zipf import ZipfSampler, zipf_probabilities
+
+
+def make_stream(steady=0.95, seed=1, n=20):
+    rng = np.random.default_rng(seed)
+    sampler = ZipfSampler(zipf_probabilities(n, 0.95), rng)
+    return AccessStream(sampler, steady, rng)
+
+
+class TestThinkTimeRate:
+    def test_paper_rates(self):
+        # ThinkTime 20, ratio 250 -> 12.5 requests per broadcast unit.
+        assert think_time_rate(20.0, 250.0) == pytest.approx(12.5)
+        assert think_time_rate(20.0, 10.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            think_time_rate(0.0, 10.0)
+        with pytest.raises(ValueError):
+            think_time_rate(20.0, 0.0)
+
+
+class TestAccessStream:
+    def test_steady_perc_validated(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(zipf_probabilities(5, 0.5), rng)
+        with pytest.raises(ValueError):
+            AccessStream(sampler, 1.5, rng)
+
+    def test_next_yields_valid_pages(self):
+        stream = make_stream()
+        for _ in range(1000):
+            page, steady = stream.next()
+            assert 0 <= page < 20
+            assert isinstance(steady, bool)
+
+    def test_all_steady_when_perc_is_one(self):
+        stream = make_stream(steady=1.0)
+        assert all(stream.next()[1] for _ in range(500))
+
+    def test_none_steady_when_perc_is_zero(self):
+        stream = make_stream(steady=0.0)
+        assert not any(stream.next()[1] for _ in range(500))
+
+    def test_steady_fraction_tracks_parameter(self):
+        stream = make_stream(steady=0.3, seed=7)
+        draws = [stream.next()[1] for _ in range(50_000)]
+        assert np.mean(draws) == pytest.approx(0.3, abs=0.02)
+
+    def test_take_matches_protocol(self):
+        stream = make_stream(seed=11)
+        pages, steady = stream.take(10_000)
+        assert pages.shape == steady.shape == (10_000,)
+        assert pages.min() >= 0 and pages.max() < 20
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream().take(-1)
+
+    def test_take_spanning_refills(self):
+        stream = make_stream(seed=3)
+        # Larger than one internal buffer; must span refills seamlessly.
+        pages, steady = stream.take((1 << 16) + 123)
+        assert pages.size == (1 << 16) + 123
+
+    def test_deterministic_given_seed(self):
+        a = make_stream(seed=42)
+        b = make_stream(seed=42)
+        for _ in range(100):
+            assert a.next() == b.next()

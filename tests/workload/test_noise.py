@@ -1,0 +1,68 @@
+"""Unit tests for the Noise perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.noise import noisy_probabilities, perturb_ranking
+from repro.workload.zipf import zipf_probabilities
+
+
+class TestPerturbRanking:
+    def test_zero_noise_is_identity(self, rng):
+        assert perturb_ranking([3, 1, 2], 0.0, rng) == [3, 1, 2]
+
+    def test_full_noise_is_a_permutation(self, rng):
+        ranking = list(range(100))
+        perturbed = perturb_ranking(ranking, 1.0, rng)
+        assert sorted(perturbed) == ranking
+        assert perturbed != ranking  # astronomically unlikely to match
+
+    def test_noise_bounds_validated(self, rng):
+        with pytest.raises(ValueError):
+            perturb_ranking([0, 1], -0.1, rng)
+        with pytest.raises(ValueError):
+            perturb_ranking([0, 1], 1.5, rng)
+
+    def test_single_page_unchanged(self, rng):
+        assert perturb_ranking([7], 1.0, rng) == [7]
+
+    def test_moderate_noise_moves_some_pages(self, rng):
+        ranking = list(range(200))
+        perturbed = perturb_ranking(ranking, 0.15, rng)
+        moved = sum(1 for a, b in zip(ranking, perturbed) if a != b)
+        # Each position joins a swap with p=0.15 or gets hit as a partner;
+        # expect a substantial but partial shuffle.
+        assert 10 <= moved <= 120
+
+    def test_higher_noise_displaces_more(self):
+        ranking = list(range(500))
+        moved = []
+        for noise in (0.15, 0.35):
+            rng = np.random.default_rng(5)
+            perturbed = perturb_ranking(ranking, noise, rng)
+            moved.append(
+                sum(1 for a, b in zip(ranking, perturbed) if a != b))
+        assert moved[0] < moved[1]
+
+    def test_deterministic_given_seed(self):
+        ranking = list(range(50))
+        a = perturb_ranking(ranking, 0.35, np.random.default_rng(3))
+        b = perturb_ranking(ranking, 0.35, np.random.default_rng(3))
+        assert a == b
+
+
+class TestNoisyProbabilities:
+    def test_zero_noise_preserves_vector(self, rng):
+        rank_probs = zipf_probabilities(50, 0.95)
+        noisy = noisy_probabilities(rank_probs, 0.0, rng)
+        assert np.allclose(noisy, rank_probs)
+
+    def test_result_is_probability_vector(self, rng):
+        noisy = noisy_probabilities(zipf_probabilities(100, 0.95), 0.35, rng)
+        assert noisy.sum() == pytest.approx(1.0)
+        assert np.all(noisy > 0)
+
+    def test_multiset_of_probabilities_preserved(self, rng):
+        rank_probs = zipf_probabilities(64, 0.95)
+        noisy = noisy_probabilities(rank_probs, 0.5, rng)
+        assert np.allclose(np.sort(noisy), np.sort(rank_probs))

@@ -1,0 +1,88 @@
+"""Unit and property tests for the Zipf distribution and sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.zipf import ZipfSampler, zipf_probabilities
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        probs = zipf_probabilities(1000, 0.95)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(100, 0.95)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_theta_zero_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_known_ratio(self):
+        probs = zipf_probabilities(10, 1.0)
+        assert probs[0] / probs[1] == pytest.approx(2.0)
+        assert probs[0] / probs[9] == pytest.approx(10.0)
+
+    def test_single_page(self):
+        assert zipf_probabilities(1, 0.95)[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 0.95)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.1)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=2.0))
+    def test_always_a_distribution(self, n, theta):
+        probs = zipf_probabilities(n, theta)
+        assert probs.shape == (n,)
+        assert np.all(probs > 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestZipfSampler:
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(np.array([]), rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(np.array([0.5, 0.6]), rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(np.array([0.5, -0.5, 1.0]), rng)
+
+    def test_sample_range(self, rng):
+        sampler = ZipfSampler(zipf_probabilities(50, 0.95), rng)
+        draws = sampler.sample(10_000)
+        assert draws.min() >= 0
+        assert draws.max() < 50
+
+    def test_deterministic_given_seed(self):
+        probs = zipf_probabilities(20, 0.95)
+        a = ZipfSampler(probs, np.random.default_rng(9)).sample(100)
+        b = ZipfSampler(probs, np.random.default_rng(9)).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_empirical_frequencies_track_probabilities(self, rng):
+        probs = zipf_probabilities(10, 0.95)
+        sampler = ZipfSampler(probs, rng)
+        draws = sampler.sample(200_000)
+        counts = np.bincount(draws, minlength=10) / draws.size
+        assert np.allclose(counts, probs, atol=0.01)
+
+    def test_sample_one_matches_domain(self, rng):
+        sampler = ZipfSampler(zipf_probabilities(5, 0.5), rng)
+        for _ in range(100):
+            assert 0 <= sampler.sample_one() < 5
+
+    def test_degenerate_distribution(self, rng):
+        sampler = ZipfSampler(np.array([0.0, 1.0, 0.0]), rng)
+        assert set(sampler.sample(1000).tolist()) == {1}
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=50))
+    def test_num_pages_property(self, n):
+        sampler = ZipfSampler(zipf_probabilities(n, 0.95),
+                              np.random.default_rng(0))
+        assert sampler.num_pages == n
