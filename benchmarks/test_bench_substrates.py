@@ -101,6 +101,21 @@ def test_reference_engine_throughput(benchmark):
     assert result.mc_misses > 0
 
 
+def test_fast_engine_traced_throughput(benchmark):
+    """Tracing overhead: same run as test_fast_engine_throughput but with
+    the slot tracer attached to a discarding sink.  Compare the two means
+    to see what a record per slot costs."""
+    from repro.obs.trace import NullSink, SlotTracer
+
+    config = _small_system(Algorithm.IPP)
+
+    def traced():
+        return FastEngine(config, tracer=SlotTracer(NullSink())).run()
+
+    result = benchmark(traced)
+    assert result.mc_misses > 0
+
+
 def test_pure_push_analytic_throughput(benchmark):
     config = SystemConfig(algorithm=Algorithm.PURE_PUSH,
                           run=RunConfig(settle_accesses=500,

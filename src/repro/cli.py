@@ -3,9 +3,14 @@
 Subcommands:
 
 - ``figures`` — regenerate one or all of the paper's figures and print
-  the series as tables (optionally saving JSON),
+  the series as tables (optionally saving JSON and slot traces),
 - ``simulate`` — run a single configured system and dump its metrics,
-- ``program`` — show a broadcast program's layout and analytic delays.
+- ``trace`` — run one system with the slot tracer attached and write a
+  JSONL trace (one record per broadcast slot),
+- ``profile`` — run the fast engine with phase timers and print the
+  per-phase wall-time breakdown,
+- ``program`` — show a broadcast program's layout and analytic delays,
+- ``tune`` — recommend IPP knob settings for a load range.
 """
 
 from __future__ import annotations
@@ -25,6 +30,63 @@ from repro.experiments.reporting import render_ascii_chart
 __all__ = ["main", "build_parser"]
 
 
+def _version() -> str:
+    """Package version from installed metadata, source tree as fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata always present when installed
+        from repro import __version__
+        return __version__
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
+    """The single-system knobs shared by simulate / trace / profile."""
+    parser.add_argument("--algorithm", choices=[a.value for a in Algorithm],
+                        default="ipp")
+    parser.add_argument("--ttr", type=float, default=10.0,
+                        help="ThinkTimeRatio (client population scale)")
+    parser.add_argument("--pull-bw", type=float, default=0.5)
+    parser.add_argument("--thresh-perc", type=float, default=0.0)
+    parser.add_argument("--steady-state-perc", type=float, default=0.95)
+    parser.add_argument("--noise", type=float, default=0.0)
+    parser.add_argument("--chop", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--settle", type=int, default=4000)
+    parser.add_argument("--measure", type=int, default=5000)
+
+
+def _system_config(args) -> SystemConfig:
+    """Build the configured system from simulate-style arguments.
+
+    ``--figure`` (trace / profile only) swaps in that figure's
+    representative sweep point; the run-scale knobs (--seed, --settle,
+    --measure) still apply on top.
+    """
+    figure = getattr(args, "figure", None)
+    if figure is not None:
+        from repro.experiments.points import REPRESENTATIVE_POINTS
+
+        config = REPRESENTATIVE_POINTS.get(figure)
+        if config is None:
+            known = ", ".join(sorted(REPRESENTATIVE_POINTS))
+            raise SystemExit(f"unknown figure id {figure!r} (known: {known})")
+    else:
+        config = SystemConfig(algorithm=Algorithm(args.algorithm)).with_(
+            client__think_time_ratio=args.ttr,
+            client__steady_state_perc=args.steady_state_perc,
+            client__noise=args.noise,
+            server__pull_bw=args.pull_bw,
+            server__thresh_perc=args.thresh_perc,
+            server__chop=args.chop,
+        )
+    return config.with_(
+        run__seed=args.seed,
+        run__settle_accesses=args.settle,
+        run__measure_accesses=args.measure,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -32,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Balancing Push and Pull for Data "
                     "Broadcast' (SIGMOD 1997)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     figures = sub.add_parser(
@@ -44,12 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale runs (slow); default is the quick profile")
     figures.add_argument(
         "--workers", type=int, default=None,
-        help="process-pool width for the sweeps")
+        help="process-pool width for the sweeps (default: the profile's "
+             "own width; --full uses every core)")
     figures.add_argument(
         "--seed", type=int, default=42, help="base RNG seed")
     figures.add_argument(
         "--json", type=Path, default=None, metavar="DIR",
         help="also write one JSON file per figure into DIR")
+    figures.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="also write a JSONL slot trace of each figure's "
+             "representative point into DIR")
     figures.add_argument(
         "--drop-rates", action="store_true",
         help="print server drop-rate tables as well")
@@ -58,18 +127,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also plot each figure as an ASCII chart")
 
     one = sub.add_parser("simulate", help="run one configured system")
-    one.add_argument("--algorithm", choices=[a.value for a in Algorithm],
-                     default="ipp")
-    one.add_argument("--ttr", type=float, default=10.0,
-                     help="ThinkTimeRatio (client population scale)")
-    one.add_argument("--pull-bw", type=float, default=0.5)
-    one.add_argument("--thresh-perc", type=float, default=0.0)
-    one.add_argument("--steady-state-perc", type=float, default=0.95)
-    one.add_argument("--noise", type=float, default=0.0)
-    one.add_argument("--chop", type=int, default=0)
-    one.add_argument("--seed", type=int, default=0)
-    one.add_argument("--settle", type=int, default=4000)
-    one.add_argument("--measure", type=int, default=5000)
+    _add_system_args(one)
+
+    trace = sub.add_parser(
+        "trace", help="run one system and write a slot-level JSONL trace")
+    _add_system_args(trace)
+    trace.add_argument(
+        "--figure", default=None, metavar="FIG",
+        help="trace this figure's representative sweep point instead of "
+             "the --algorithm/--ttr/... knobs")
+    trace.add_argument(
+        "--engine", choices=("fast", "reference"), default="fast",
+        help="which engine to trace (default: fast)")
+    trace.add_argument(
+        "--out", type=Path, default=Path("trace.jsonl"), metavar="FILE",
+        help="JSONL output path (default: trace.jsonl)")
+
+    profile_cmd = sub.add_parser(
+        "profile", help="time the fast engine's hot-loop phases")
+    _add_system_args(profile_cmd)
+    profile_cmd.add_argument(
+        "--figure", default=None, metavar="FIG",
+        help="profile this figure's representative sweep point")
 
     prog = sub.add_parser("program", help="inspect a broadcast program")
     prog.add_argument("--cache-size", type=int, default=100)
@@ -96,6 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_trace(config: SystemConfig, path: Path,
+                 engine: str = "fast") -> int:
+    """Trace ``config`` into a JSONL file; returns the record count."""
+    from repro.core.fast import FastEngine
+    from repro.core.simulation import ReferenceEngine
+    from repro.obs.trace import JsonlSink, SlotTracer
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with JsonlSink(path) as sink:
+        tracer = SlotTracer(sink)
+        if engine == "reference":
+            ReferenceEngine(config, tracer=tracer).run()
+        else:
+            FastEngine(config, tracer=tracer).run()
+        return sink.emitted
+
+
 def _cmd_figures(args) -> int:
     ids = args.ids or list(ALL_FIGURES)
     unknown = [i for i in ids if i not in ALL_FIGURES]
@@ -107,11 +203,13 @@ def _cmd_figures(args) -> int:
         settle_accesses=base.settle_accesses,
         measure_accesses=base.measure_accesses,
         replicates=base.replicates,
-        workers=args.workers,
+        workers=args.workers if args.workers is not None else base.workers,
         base_seed=args.seed,
     )
     if args.json is not None:
         args.json.mkdir(parents=True, exist_ok=True)
+    if args.trace is not None:
+        args.trace.mkdir(parents=True, exist_ok=True)
     for fig_id in ids:
         started = time.perf_counter()
         figure = ALL_FIGURES[fig_id](profile)
@@ -124,23 +222,41 @@ def _cmd_figures(args) -> int:
         if args.json is not None:
             path = args.json / f"figure_{fig_id}.json"
             path.write_text(json.dumps(figure.to_dict(), indent=2))
+        if args.trace is not None:
+            from repro.experiments.points import representative_config
+
+            config = profile.apply(representative_config(fig_id),
+                                   profile.base_seed)
+            trace_path = args.trace / f"trace_{fig_id}.jsonl"
+            emitted = _write_trace(config, trace_path)
+            print(f"[trace {fig_id}: {emitted} slot records -> "
+                  f"{trace_path}]\n")
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    config = SystemConfig(algorithm=Algorithm(args.algorithm)).with_(
-        client__think_time_ratio=args.ttr,
-        client__steady_state_perc=args.steady_state_perc,
-        client__noise=args.noise,
-        server__pull_bw=args.pull_bw,
-        server__thresh_perc=args.thresh_perc,
-        server__chop=args.chop,
-        run__seed=args.seed,
-        run__settle_accesses=args.settle,
-        run__measure_accesses=args.measure,
-    )
-    result = simulate(config)
+    result = simulate(_system_config(args))
     print(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    config = _system_config(args)
+    emitted = _write_trace(config, args.out, engine=args.engine)
+    print(f"{emitted} slot records -> {args.out}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import profile_run
+
+    config = _system_config(args)
+    result, prof = profile_run(config)
+    print(prof.render())
+    print()
+    print(f"response_miss mean : {result.response_miss.mean:.2f} "
+          f"broadcast units over {result.response_miss.count} misses")
+    print(f"drop rate          : {result.drop_rate:.1%}")
     return 0
 
 
@@ -203,6 +319,10 @@ def main(argv=None) -> int:
         return _cmd_figures(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "tune":
         return _cmd_tune(args)
     return _cmd_program(args)

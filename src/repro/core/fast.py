@@ -27,12 +27,18 @@ semantics event-by-event; integration tests cross-validate the two.
 from __future__ import annotations
 
 import math
+import time
+from typing import TYPE_CHECKING
 
 from repro.broadcast.schedule import NOT_BROADCAST
 from repro.core.algorithms import Algorithm
 from repro.core.build import SystemState, build_system
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult, TallySnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> core)
+    from repro.obs.profile import HotLoopProfile
+    from repro.obs.trace import SlotTracer
 
 __all__ = ["FastEngine", "simulate", "simulate_warmup", "SimulationStall"]
 
@@ -48,7 +54,9 @@ class FastEngine:
     """Run one configured system to completion and report a RunResult."""
 
     def __init__(self, config: SystemConfig, state: SystemState | None = None,
-                 force_general: bool = False, controller=None):
+                 force_general: bool = False, controller=None,
+                 tracer: "SlotTracer | None" = None,
+                 profiler: "HotLoopProfile | None" = None):
         """Args:
             config: the system to simulate.
             state: pre-built components (a fresh one is built if omitted).
@@ -57,11 +65,20 @@ class FastEngine:
             controller: optional
                 :class:`~repro.core.adaptive.AdaptiveController` retuning
                 PullBW / ThresPerc during the run (IPP only).
+            tracer: optional :class:`~repro.obs.trace.SlotTracer` emitting
+                one structured record per completed slot.  Forces the
+                general slot loop (the Pure-Push analytic shortcut ticks
+                no slots to trace).
+            profiler: optional :class:`~repro.obs.profile.HotLoopProfile`
+                accumulating per-phase wall time; also forces the general
+                loop.
         """
         self.config = config
         self.state = state if state is not None else build_system(config)
         self._force_general = force_general
         self.controller = controller
+        self.tracer = tracer
+        self.profiler = profiler
         if controller is not None and config.algorithm is not Algorithm.IPP:
             raise ValueError("adaptive control only applies to IPP")
 
@@ -80,7 +97,9 @@ class FastEngine:
     # -- engine ------------------------------------------------------------------
     def _execute(self, warmup_mode: bool) -> RunResult:
         use_analytic = (self.config.algorithm is Algorithm.PURE_PUSH
-                        and not self._force_general)
+                        and not self._force_general
+                        and self.tracer is None
+                        and self.profiler is None)
         if use_analytic:
             return self._run_pure_push(warmup_mode)
         return self._run_general(warmup_mode)
@@ -256,17 +275,33 @@ class FastEngine:
         control_interval = (controller.policy.interval
                             if controller is not None else 0)
 
+        # Observability hooks: both default to None, in which case the
+        # loop pays one local-boolean test per phase and nothing else.
+        tracer = self.tracer
+        tracing = tracer is not None
+        prof = self.profiler
+        profiling = prof is not None
+        _pc = time.perf_counter
+        run_started = _pc() if profiling else 0.0
+        _t0 = _now = 0.0
+
         #: Page transmitted during the previous slot (completes now).
         in_flight: int | None = None
 
         t = 0
         while not stop:
+            if profiling:
+                _t0 = _pc()
             if controller is not None and t and t % control_interval == 0:
                 pull_bw, thresh_perc = controller.decide(
                     float(t), queue.offers, queue.dropped)
                 server.mux.pull_bw = pull_bw
                 threshold.set_thresh_perc(thresh_perc)
                 vc.set_threshold_slots(threshold.threshold_slots)
+                if profiling:
+                    _now = _pc()
+                    prof.control += _now - _t0
+                    _t0 = _now
             if t >= max_slots:
                 raise SimulationStall(
                     f"run exceeded max_slots={max_slots} "
@@ -300,6 +335,11 @@ class FastEngine:
                         measure_start = now_boundary
                         self._begin_measure()
 
+            if profiling:
+                _now = _pc()
+                prof.deliver += _now - _t0
+                _t0 = _now
+
             # 2. MC accesses due in this slot, processed before the server
             # frees queue capacity (CSIM event order: a request landing on
             # the slot boundary does not get first claim on the popped slot).
@@ -313,6 +353,8 @@ class FastEngine:
                             wanted, server.schedule_pos):
                         offer(wanted)
                         mc.record_pull_sent()
+                        if tracing:
+                            tracer.on_mc_request(wanted)
                     waiting_page = wanted
                     requested_at = now
                     break
@@ -337,12 +379,27 @@ class FastEngine:
                         measure_start = now
                         self._begin_measure()
 
+            if profiling:
+                _now = _pc()
+                prof.mc_access += _now - _t0
+                _t0 = _now
+
             if phase == phase_measure:
                 qlen_sum += len(queue)
                 qlen_slots += 1
 
             # 3. The server emits the slot [t, t+1).
-            in_flight, _kind = tick()
+            in_flight, kind = tick()
+            # The record snapshots the post-tick instant, before this
+            # slot's VC arrivals; a tick past the stop condition is the
+            # loop's exit slack, not a simulated slot, so it isn't traced.
+            if tracing and not stop:
+                tracer.on_slot(t, kind, in_flight, queue, waiting_page)
+
+            if profiling:
+                _now = _pc()
+                prof.server_tick += _now - _t0
+                _t0 = _now
 
             # 4. VC arrivals strictly inside this slot.
             if uses_backchannel:
@@ -352,11 +409,22 @@ class FastEngine:
                 count = poisson_counts[poisson_cursor]
                 poisson_cursor += 1
                 if count:
-                    for wanted in requests_for_slot(count,
-                                                    server.schedule_pos):
-                        offer(wanted)
+                    if tracing:
+                        for wanted in requests_for_slot(
+                                count, server.schedule_pos):
+                            offer(wanted)
+                            tracer.on_vc_request(wanted)
+                    else:
+                        for wanted in requests_for_slot(
+                                count, server.schedule_pos):
+                            offer(wanted)
+            if profiling:
+                prof.vc_arrivals += _pc() - _t0
             t += 1
 
+        if profiling:
+            prof.slots = t
+            prof.wall_seconds = _pc() - run_started
         queue_length_mean = qlen_sum / qlen_slots if qlen_slots else 0.0
         return self._result(warmup_mode, measure_start, end_time,
                             queue_length_mean)

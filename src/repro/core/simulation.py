@@ -19,7 +19,7 @@ agreement between the two validates the fast engine's shortcuts.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -30,13 +30,17 @@ from repro.core.metrics import RunResult, TallySnapshot
 from repro.server.broadcast_server import SlotKind
 from repro.sim import Environment, Event
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> core)
+    from repro.obs.trace import SlotTracer
+
 __all__ = ["ReferenceEngine"]
 
 
 class ReferenceEngine:
     """Process-per-entity simulation of one configured system."""
 
-    def __init__(self, config: SystemConfig, state: SystemState | None = None):
+    def __init__(self, config: SystemConfig, state: SystemState | None = None,
+                 tracer: "SlotTracer | None" = None):
         self.config = config
         self.state = state if state is not None else build_system(config)
         self.env = Environment()
@@ -47,6 +51,10 @@ class ReferenceEngine:
         self._on_air: Optional[int] = None
         self._vc_rng = np.random.default_rng(
             np.random.SeedSequence((config.run.seed, 0xBEEF)))
+        #: Optional slot tracer (same record schema as the fast engine's).
+        self.tracer = tracer
+        #: Page the MC is currently blocked on (observability only).
+        self._mc_waiting: Optional[int] = None
         # Phase control.
         self._warmup_mode = False
         self._phase = "warm"
@@ -130,11 +138,17 @@ class ReferenceEngine:
 
         server = self.state.server
         env = self.env
+        tracer = self.tracer
         while True:
             if self._phase == "measure":
                 self._qlen_sum += len(server.queue)
                 self._qlen_slots += 1
-            page, _kind = server.tick()
+            page, kind = server.tick()
+            if tracer is not None:
+                # Same snapshot instant as the fast engine: right after
+                # the tick, before this slot's VC arrivals.
+                tracer.on_slot(int(env.now), kind, page, server.queue,
+                               self._mc_waiting)
             self._on_air = page
             # End-of-slot deliveries must become visible BEFORE any client
             # activity at the same instant (a fresh miss at the boundary
@@ -182,7 +196,11 @@ class ReferenceEngine:
                     send_pull = threshold.passes(page, server.schedule_pos)
                     if send_pull:
                         mc.record_pull_sent()
+                        if self.tracer is not None:
+                            self.tracer.on_mc_request(page)
+                self._mc_waiting = page
                 arrived_at = yield from self._obtain(page, send_pull)
+                self._mc_waiting = None
                 mc.receive(page, now, arrived_at)
                 self._access_completed(arrived_at)
             if self._end_time is not None:
@@ -201,6 +219,8 @@ class ReferenceEngine:
             if not survivors:
                 continue
             page = survivors[0]
+            if self.tracer is not None:
+                self.tracer.on_vc_request(page)
             if closed_loop:
                 yield from self._obtain(page, send_pull=True)
             else:

@@ -30,6 +30,7 @@ from repro.experiments.experiment1 import (
 )
 from repro.experiments.experiment2 import figure_6
 from repro.experiments.experiment3 import figure_7, figure_8
+from repro.experiments.points import REPRESENTATIVE_POINTS, representative_config
 from repro.experiments.reporting import render_figure
 
 ALL_FIGURES = {
@@ -63,4 +64,6 @@ __all__ = [
     "figure_8",
     "render_figure",
     "ALL_FIGURES",
+    "REPRESENTATIVE_POINTS",
+    "representative_config",
 ]

@@ -10,6 +10,7 @@ picklable by construction.
 from __future__ import annotations
 
 import math
+import os
 import statistics
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -65,8 +66,11 @@ class Profile:
 #: Fast shape-check profile (used by the benchmark suite).
 QUICK = Profile(settle_accesses=500, measure_accesses=800, replicates=1)
 #: Paper-scale profile (used by ``repro-broadcast figures --full``).
+#: Paper-scale sweeps are embarrassingly parallel, so the default is the
+#: full process pool; pass ``workers=1`` (or ``--workers 1``) to force
+#: sequential runs.
 FULL = Profile(settle_accesses=4000, measure_accesses=5000, replicates=3,
-               workers=None)
+               workers=os.cpu_count())
 
 
 @dataclass(frozen=True)

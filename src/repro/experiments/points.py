@@ -1,0 +1,57 @@
+"""Representative sweep points — one interesting config per figure.
+
+The figure functions build their sweep configs internally; tracing or
+profiling "a figure" therefore needs a stand-in: one configuration from
+the figure's sweep that exercises its characteristic behaviour (the
+mid-load IPP point for the steady-state figures, a chopped program for
+Experiment 3, ...).  ``repro-broadcast trace --figure`` and the figures
+command's ``--trace`` flag resolve ids through this table.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import Algorithm
+from repro.core.config import SystemConfig
+
+__all__ = ["REPRESENTATIVE_POINTS", "representative_config"]
+
+
+def _point(algorithm: Algorithm, **overrides) -> SystemConfig:
+    return SystemConfig(algorithm=algorithm).with_(**overrides)
+
+
+#: Figure id -> one configuration from that figure's sweep.
+REPRESENTATIVE_POINTS: dict[str, SystemConfig] = {
+    # Experiment 1: steady state (3a/3b), warm-up loads (4a/4b), noise (5).
+    "3a": _point(Algorithm.IPP, client__think_time_ratio=10,
+                 client__steady_state_perc=0.95, server__pull_bw=0.50),
+    "3b": _point(Algorithm.IPP, client__think_time_ratio=10,
+                 server__pull_bw=0.30),
+    "4a": _point(Algorithm.IPP, client__think_time_ratio=25,
+                 server__pull_bw=0.50),
+    "4b": _point(Algorithm.IPP, client__think_time_ratio=250,
+                 server__pull_bw=0.50),
+    "5a": _point(Algorithm.PURE_PULL, client__think_time_ratio=25,
+                 client__noise=0.15),
+    "5b": _point(Algorithm.IPP, client__think_time_ratio=25,
+                 client__noise=0.15, server__pull_bw=0.50),
+    # Experiment 2: thresholds.
+    "6a": _point(Algorithm.IPP, client__think_time_ratio=25,
+                 server__pull_bw=0.50, server__thresh_perc=0.25),
+    "6b": _point(Algorithm.IPP, client__think_time_ratio=25,
+                 server__pull_bw=0.30, server__thresh_perc=0.25),
+    # Experiment 3: restricted push programs.
+    "7a": _point(Algorithm.IPP, client__think_time_ratio=25,
+                 server__pull_bw=0.30, server__chop=300),
+    "7b": _point(Algorithm.IPP, client__think_time_ratio=25,
+                 server__pull_bw=0.30, server__thresh_perc=0.35,
+                 server__chop=300),
+    "8": _point(Algorithm.IPP, client__think_time_ratio=50,
+                server__pull_bw=0.30, server__thresh_perc=0.35,
+                server__chop=300),
+}
+
+
+def representative_config(fig_id: str) -> SystemConfig:
+    """The representative point for ``fig_id`` (KeyError when unknown)."""
+    return REPRESENTATIVE_POINTS[fig_id]

@@ -1,0 +1,58 @@
+"""repro.obs — observability: tracing, metrics, profiling, trace diffing.
+
+The simulators' only output used to be end-of-run aggregates; this package
+opens the black box:
+
+- :mod:`repro.obs.trace` — per-slot structured records through pluggable
+  sinks (null / in-memory ring / JSONL file),
+- :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with a
+  shared no-op mode for zero-cost disabled instrumentation,
+- :mod:`repro.obs.profile` — phase timers for the fast engine's hot loop
+  (slots/sec, per-phase wall-time breakdown),
+- :mod:`repro.obs.compare` — trace diffing that pinpoints the first slot
+  where two engine runs diverge.
+
+Everything is opt-in: engines built without a tracer/profiler run the
+exact pre-observability hot path.
+"""
+
+from repro.obs.compare import TraceDiff, capture_trace, compare_engines, diff_traces
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.profile import HotLoopProfile, PhaseTimer, profile_run
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    SlotRecord,
+    SlotTracer,
+    TraceSink,
+    read_jsonl,
+)
+
+__all__ = [
+    "SlotRecord",
+    "SlotTracer",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "PhaseTimer",
+    "HotLoopProfile",
+    "profile_run",
+    "TraceDiff",
+    "diff_traces",
+    "capture_trace",
+    "compare_engines",
+]

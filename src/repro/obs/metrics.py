@@ -1,0 +1,300 @@
+"""A lightweight counters / gauges / histograms registry.
+
+The registry is the aggregate side of the observability layer: tracers,
+engines, and tools register named instruments and bump them; a snapshot is
+a plain nested dict, render() a human-readable table.  Design constraints:
+
+- **near-zero overhead when disabled** — a disabled registry hands out
+  shared no-op instruments whose methods do nothing, so instrumented code
+  never needs ``if metrics:`` guards;
+- **no dependencies** — histogram summary statistics reuse the streaming
+  :class:`~repro.sim.monitor.Tally` the simulation kernel already ships,
+  so a histogram's mean/stddev stay numerically stable over millions of
+  observations.
+
+Names are free-form but conventionally ``snake_case`` with a ``_total``
+suffix for counters (the prometheus idiom).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Sequence
+
+from repro.sim.monitor import Tally
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Default histogram bucket upper bounds (broadcast-unit scale).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help_: str = ""):
+        self.name = name
+        self.help = help_
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help_: str = ""):
+        self.name = name
+        self.help = help_
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Bucketed distribution plus streaming summary statistics.
+
+    ``buckets`` are inclusive upper bounds; one overflow bucket (+inf) is
+    appended automatically.  Summary statistics (count/mean/stddev/min/max)
+    come from a Welford :class:`~repro.sim.monitor.Tally`.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "_tally")
+
+    def __init__(self, name: str, help_: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.help = help_
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf overflow
+        self._tally = Tally()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self._tally.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._tally.count
+
+    @property
+    def mean(self) -> float:
+        return self._tally.mean
+
+    @property
+    def stddev(self) -> float:
+        return self._tally.stddev
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket histogram.
+
+        Returns the upper bound of the bucket the quantile falls in (+inf
+        maps to the observed max), NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        total = self._tally.count
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index == len(self.bounds):
+                    return self._tally.max
+                return self.bounds[index]
+        return self._tally.max
+
+    def snapshot(self) -> dict:
+        tally = self._tally
+        return {
+            "type": "histogram",
+            "count": tally.count,
+            "mean": tally.mean,
+            "stddev": tally.stddev,
+            "min": tally.min if tally.count else math.nan,
+            "max": tally.max if tally.count else math.nan,
+            "buckets": {
+                **{str(bound): count
+                   for bound, count in zip(self.bounds, self.counts)},
+                "+inf": self.counts[-1],
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    help = ""
+    value = 0
+    count = 0
+    mean = math.nan
+    stddev = math.nan
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def quantile(self, q) -> float:
+        return math.nan
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    A *disabled* registry (``MetricsRegistry(enabled=False)``, or the
+    module-level :data:`NULL_REGISTRY`) returns a shared no-op instrument
+    from every factory and registers nothing, so instrumented code pays
+    one attribute call per update and no memory.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, object] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}")
+            return existing
+        instrument = cls(name, *args, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_: str = "") -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(Counter, name, help_)
+
+    def gauge(self, name: str, help_: str = "") -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(Gauge, name, help_)
+
+    def histogram(self, name: str, help_: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get_or_create(Histogram, name, help_, buckets)
+
+    def register_tally(self, name: str, tally: Tally,
+                       help_: str = "") -> None:
+        """Expose an externally owned :class:`Tally` in snapshots.
+
+        The simulation's own statistics collectors (MC response-time
+        tallies etc.) can be published without copying; the snapshot
+        reads their state lazily.
+        """
+        if not self.enabled:
+            return
+        existing = self._instruments.get(name)
+        if existing is not None and existing is not tally:
+            raise TypeError(f"metric {name!r} already registered")
+        self._instruments[name] = tally
+
+    def snapshot(self) -> dict:
+        """Nested plain-dict state of every instrument."""
+        out = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Tally):
+                out[name] = {
+                    "type": "summary",
+                    "count": instrument.count,
+                    "mean": instrument.mean,
+                    "stddev": instrument.stddev,
+                    "min": instrument.min if instrument.count else math.nan,
+                    "max": instrument.max if instrument.count else math.nan,
+                }
+            else:
+                out[name] = instrument.snapshot()
+        return out
+
+    def render(self) -> str:
+        """Human-readable table of the current snapshot."""
+        lines = []
+        width = max((len(n) for n in self._instruments), default=4)
+        for name, state in self.snapshot().items():
+            kind = state.get("type", "?")
+            if kind in ("counter", "gauge"):
+                detail = f"{state['value']:g}"
+            else:
+                detail = (f"count={state['count']} mean={state['mean']:.4g} "
+                          f"min={state['min']:.4g} max={state['max']:.4g}")
+            lines.append(f"{name:<{width}}  {kind:<9}  {detail}")
+        return "\n".join(lines) if lines else "(no metrics registered)"
+
+
+#: A process-wide disabled registry: the no-op default for instrumentation.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -82,6 +82,19 @@ class BroadcastServer:
         self.slot_counts[SlotKind.PUSH] += 1
         return page, SlotKind.PUSH
 
+    def stats_snapshot(self) -> dict:
+        """Point-in-time view of the server for observability tooling.
+
+        Combines the slot accounting, the schedule cursor, and the queue's
+        own :meth:`~repro.server.queue.BoundedRequestQueue.snapshot`.
+        """
+        return {
+            "schedule_pos": self.schedule_pos,
+            "slots": {kind.value: count
+                      for kind, count in self.slot_counts.items()},
+            "queue": self.queue.snapshot(),
+        }
+
     def reset_stats(self) -> None:
         """Zero slot and queue counters at a measurement-phase boundary."""
         self.slot_counts = {kind: 0 for kind in SlotKind}

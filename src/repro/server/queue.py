@@ -88,6 +88,22 @@ class BoundedRequestQueue:
         self.served += 1
         return page
 
+    def snapshot(self) -> dict:
+        """Point-in-time accounting view (depth plus cumulative counters).
+
+        Plain-dict so tracers, the CLI, and the metrics registry can ship
+        it without holding a reference to the live queue.
+        """
+        return {
+            "depth": len(self._fifo),
+            "capacity": self.capacity,
+            "enqueued": self.enqueued,
+            "duplicates": self.duplicates,
+            "dropped": self.dropped,
+            "served": self.served,
+            "drop_rate": self.drop_rate,
+        }
+
     def reset_stats(self) -> None:
         """Zero the cumulative counters (queue contents are kept).
 

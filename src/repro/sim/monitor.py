@@ -72,6 +72,17 @@ class Tally:
         variance = self.variance
         return math.sqrt(variance) if variance == variance else math.nan
 
+    def as_dict(self) -> dict:
+        """Plain-dict summary (the form the metrics registry exports)."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": math.nan if empty else self.min,
+            "max": math.nan if empty else self.max,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Tally(count={self.count}, mean={self.mean:.4g}, "
                 f"min={self.min:.4g}, max={self.max:.4g})")
@@ -118,3 +129,8 @@ class TimeWeighted:
             return self._value
         area = self._area + self._value * (end - self._last_time)
         return area / elapsed
+
+    def as_dict(self, now: float | None = None) -> dict:
+        """Plain-dict summary for observability exports."""
+        return {"value": self._value, "mean": self.mean(now),
+                "max": self.max}

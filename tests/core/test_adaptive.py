@@ -82,6 +82,64 @@ class TestAdaptiveController:
         assert controller.thresh_perc == 0.5
 
 
+class TestControllerConvergence:
+    """Behaviour at the extremes: zero drops, saturation, clamping."""
+
+    def policy(self):
+        return AdaptivePolicy(interval=100, high_drop=0.10, low_drop=0.01,
+                              thresh_step=0.05, pull_bw_step=0.05,
+                              min_pull_bw=0.1, max_pull_bw=0.9,
+                              min_thresh=0.0, max_thresh=0.5)
+
+    def test_zero_drop_rate_converges_to_relaxed_bounds(self):
+        """A permanently clear queue walks the knobs all the way to the
+        pull-heavy corner: max PullBW, zero threshold."""
+        controller = AdaptiveController(self.policy(), 0.5, 0.5)
+        for step in range(1, 30):
+            pull_bw, thresh = controller.decide(
+                float(step * 100), total_offers=50 * step, total_dropped=0)
+        assert pull_bw == pytest.approx(0.9)
+        assert thresh == pytest.approx(0.0)
+
+    def test_saturation_converges_to_conservative_bounds(self):
+        """A saturated queue walks to min PullBW / max threshold and the
+        trajectory is monotone (no oscillation on a constant signal)."""
+        controller = AdaptiveController(self.policy(), 0.9, 0.0)
+        pull_trajectory, thresh_trajectory = [], []
+        for step in range(1, 30):
+            pull_bw, thresh = controller.decide(
+                float(step * 100), total_offers=100 * step,
+                total_dropped=60 * step)
+            pull_trajectory.append(pull_bw)
+            thresh_trajectory.append(thresh)
+        assert pull_trajectory[-1] == pytest.approx(0.1)
+        assert thresh_trajectory[-1] == pytest.approx(0.5)
+        assert pull_trajectory == sorted(pull_trajectory, reverse=True)
+        assert thresh_trajectory == sorted(thresh_trajectory)
+
+    def test_initial_values_clamped_from_below(self):
+        policy = AdaptivePolicy(min_pull_bw=0.2, max_pull_bw=0.8,
+                                min_thresh=0.1, max_thresh=0.6)
+        controller = AdaptiveController(policy, 0.01, 0.0)
+        assert controller.pull_bw == pytest.approx(0.2)
+        assert controller.thresh_perc == pytest.approx(0.1)
+
+    def test_decisions_always_within_bounds(self):
+        """Whatever the drop-rate sequence, every decision stays inside
+        [min, max] for both knobs."""
+        policy = self.policy()
+        controller = AdaptiveController(policy, 0.5, 0.25)
+        offers = dropped = 0
+        for step, window_drop in enumerate(
+                (0.0, 1.0, 0.0, 0.5, 0.02, 1.0, 1.0, 0.0, 0.0, 0.0,
+                 0.9, 0.9, 0.9, 0.9, 0.9, 0.0)):
+            offers += 100
+            dropped += int(100 * window_drop)
+            pull_bw, thresh = controller.decide(float(step), offers, dropped)
+            assert policy.min_pull_bw <= pull_bw <= policy.max_pull_bw
+            assert policy.min_thresh <= thresh <= policy.max_thresh
+
+
 class TestAdaptiveEngineIntegration:
     def test_controller_engages_under_saturation(self):
         """Under heavy load the controller should have ratcheted the

@@ -55,6 +55,72 @@ class TestSimulateCommand:
         assert data["mc_misses"] > 0
 
 
+class TestVersionFlag:
+    def test_prints_version_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-broadcast ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestTraceCommand:
+    def test_writes_valid_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = main(["trace", "--algorithm", "pure-pull", "--ttr", "2",
+                     "--settle", "20", "--measure", "40",
+                     "--out", str(path)])
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in ("push", "pull", "padding", "idle")
+            assert record["queue_depth"] >= 0
+        slots = [json.loads(line)["slot"] for line in lines]
+        assert slots == list(range(len(slots)))
+        assert f"{len(lines)} slot records" in capsys.readouterr().out
+
+    def test_figure_point_traces(self, tmp_path):
+        """Acceptance: tracing a figure's representative sweep point
+        produces a valid JSONL trace."""
+        path = tmp_path / "fig.jsonl"
+        code = main(["trace", "--figure", "3a", "--settle", "20",
+                     "--measure", "40", "--out", str(path)])
+        assert code == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records
+        assert {"push", "pull"} & {r["kind"] for r in records}
+
+    def test_reference_engine_traces_too(self, tmp_path):
+        path = tmp_path / "ref.jsonl"
+        code = main(["trace", "--algorithm", "pure-push", "--ttr", "2",
+                     "--settle", "20", "--measure", "40",
+                     "--engine", "reference", "--out", str(path)])
+        assert code == 0
+        assert path.read_text().splitlines()
+
+    def test_unknown_figure_id(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--figure", "nope",
+                  "--out", str(tmp_path / "t.jsonl")])
+
+
+class TestProfileCommand:
+    def test_prints_phase_table(self, capsys):
+        code = main(["profile", "--algorithm", "ipp", "--ttr", "2",
+                     "--settle", "20", "--measure", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("control", "deliver", "mc_access", "server_tick",
+                      "vc_arrivals"):
+            assert phase in out
+        assert "slots/sec" in out
+        assert "response_miss mean" in out
+
+
 class TestTuneCommand:
     def test_recommends_a_setting(self, capsys):
         code = main(["tune", "--loads", "2", "--pull-bw", "0.5",
@@ -91,7 +157,8 @@ class TestFiguresCommand:
         monkeypatch.setattr(
             cli, "ALL_FIGURES",
             {"3a": lambda profile: figure_3a(profile, ttrs=(2, 5))})
-        code = main(["figures", "3a", "--json", str(tmp_path), "--chart"])
+        code = main(["figures", "3a", "--json", str(tmp_path), "--chart",
+                     "--trace", str(tmp_path)])
         assert code == 0
         out = capsys.readouterr().out
         assert "Figure 3a" in out
@@ -99,3 +166,7 @@ class TestFiguresCommand:
         data = json.loads((tmp_path / "figure_3a.json").read_text())
         assert data["figure"] == "3a"
         assert len(data["series"]) == 5
+        # --trace wrote the figure's representative point as JSONL.
+        trace_lines = (tmp_path / "trace_3a.jsonl").read_text().splitlines()
+        assert trace_lines
+        assert json.loads(trace_lines[0])["slot"] == 0

@@ -1,0 +1,96 @@
+"""Trace-diff tests, including the cross-engine acceptance criteria:
+
+- a seeded Pure-Push configuration produces an *empty* diff between the
+  reference and fast engines (they are bit-exact, DESIGN.md §6);
+- an injected one-slot perturbation is pinpointed to the exact slot and
+  field.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.algorithms import Algorithm
+from repro.obs.compare import capture_trace, compare_engines, diff_traces
+from repro.obs.trace import SlotRecord
+from tests.conftest import small_config
+
+
+def make_trace(length=10):
+    return [
+        SlotRecord(slot=i, kind="push", page=i % 5, queue_depth=0,
+                   enqueued=0, duplicates=0, dropped=0, served=0,
+                   mc_waiting=None, mc_arrivals=0, vc_arrivals=1)
+        for i in range(length)
+    ]
+
+
+class TestDiffTraces:
+    def test_identical_traces(self):
+        diff = diff_traces(make_trace(), make_trace())
+        assert diff.empty and diff.identical
+        assert diff.divergent_slot is None
+        assert "no divergence" in diff.format()
+
+    def test_perturbation_pinpointed_to_slot_and_field(self):
+        left, right = make_trace(), make_trace()
+        right[6] = dataclasses.replace(right[6], page=99, queue_depth=3)
+        diff = diff_traces(left, right, context=2)
+        assert not diff.empty
+        assert diff.divergent_slot == 6
+        assert diff.fields == ("page", "queue_depth")
+        assert diff.left == left[6] and diff.right == right[6]
+        assert [r.slot for r in diff.context] == [4, 5]
+        report = diff.format()
+        assert "slot 6" in report
+        assert "page: 1 != 99" in report  # slot 6 carries page 6 % 5 == 1
+
+    def test_context_clipped_at_trace_start(self):
+        left, right = make_trace(), make_trace()
+        right[1] = dataclasses.replace(right[1], kind="pull")
+        diff = diff_traces(left, right, context=5)
+        assert diff.divergent_slot == 1
+        assert [r.slot for r in diff.context] == [0]
+
+    def test_length_mismatch_alone_is_empty_but_not_identical(self):
+        diff = diff_traces(make_trace(10), make_trace(8))
+        assert diff.empty
+        assert not diff.identical
+        assert (diff.length_left, diff.length_right) == (10, 8)
+        assert "lengths differ" in diff.format()
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(ValueError):
+            diff_traces(make_trace(), make_trace(), context=-1)
+
+
+class TestCompareEngines:
+    def test_pure_push_engines_are_bit_exact(self):
+        """Acceptance: seeded Pure-Push → empty diff, equal lengths."""
+        config = small_config(Algorithm.PURE_PUSH)
+        diff = compare_engines(config)
+        assert diff.identical, diff.format()
+        assert diff.length_left == diff.length_right > 0
+
+    def test_injected_perturbation_is_pinpointed(self):
+        """Acceptance: corrupt one slot of the fast trace; the diff names
+        exactly that slot and exactly the corrupted field."""
+        config = small_config(Algorithm.PURE_PUSH)
+        reference = capture_trace(config, engine="reference")
+        fast = capture_trace(config, engine="fast")
+        victim = len(fast) // 2
+        fast[victim] = dataclasses.replace(
+            fast[victim], page=(fast[victim].page or 0) + 1)
+        diff = diff_traces(reference, fast)
+        assert diff.divergent_slot == reference[victim].slot
+        assert diff.fields == ("page",)
+
+    def test_capture_trace_rejects_unknown_engine(self, ipp_config):
+        with pytest.raises(ValueError):
+            capture_trace(ipp_config, engine="warp")
+
+    def test_capture_trace_reference_and_fast_same_length(self):
+        config = small_config(Algorithm.PURE_PUSH)
+        reference = capture_trace(config, engine="reference")
+        fast = capture_trace(config, engine="fast")
+        assert len(reference) == len(fast) > 0

@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.sim.monitor import Tally
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("hits_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"type": "counter", "value": 5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("hits_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(3.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value == pytest.approx(4.0)
+        assert gauge.snapshot()["type"] == "gauge"
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_upper_bound(self):
+        hist = Histogram("lat", buckets=(1, 5, 10))
+        for value in (0.5, 1.0, 1.1, 5.0, 9.9, 10.0, 11.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"1.0": 2, "5.0": 2, "10.0": 2, "+inf": 1}
+        assert snap["count"] == 7
+
+    def test_summary_stats_match_tally(self):
+        hist = Histogram("lat", buckets=(10,))
+        values = [1.0, 2.0, 3.0, 4.0]
+        for value in values:
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(2.5)
+        reference = Tally()
+        for value in values:
+            reference.add(value)
+        assert hist.stddev == pytest.approx(reference.stddev)
+
+    def test_quantile_approximation(self):
+        hist = Histogram("lat", buckets=(10, 20, 30))
+        for value in (5, 15, 25, 35):
+            hist.observe(value)
+        assert hist.quantile(0.25) == pytest.approx(10.0)
+        assert hist.quantile(0.5) == pytest.approx(20.0)
+        assert hist.quantile(1.0) == pytest.approx(35.0)  # overflow → max
+        assert math.isnan(Histogram("empty").quantile(0.5))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1, 2))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total")
+        first.inc(3)
+        second = registry.counter("requests_total")
+        assert second is first
+        assert second.value == 3
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 1}
+        assert snap["g"]["value"] == pytest.approx(2.5)
+        assert snap["h"]["count"] == 1
+
+    def test_register_tally_reads_lazily(self):
+        registry = MetricsRegistry()
+        tally = Tally()
+        registry.register_tally("response_time", tally)
+        tally.add(4.0)  # after registration: snapshot must see it
+        snap = registry.snapshot()["response_time"]
+        assert snap["type"] == "summary"
+        assert snap["count"] == 1
+        assert snap["mean"] == pytest.approx(4.0)
+
+    def test_register_tally_conflict(self):
+        registry = MetricsRegistry()
+        registry.register_tally("t", Tally())
+        with pytest.raises(TypeError):
+            registry.register_tally("t", Tally())
+
+    def test_render_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(7)
+        registry.histogram("depth", buckets=(1,)).observe(0.0)
+        text = registry.render()
+        assert "requests_total" in text and "7" in text
+        assert "depth" in text and "count=1" in text
+        assert MetricsRegistry().render() == "(no metrics registered)"
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc(10)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        registry.register_tally("t", Tally())
+        assert counter.value == 0
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+        # Every factory hands back the same shared no-op object.
+        assert registry.counter("other") is counter
+        assert NULL_REGISTRY.counter("x") is counter
