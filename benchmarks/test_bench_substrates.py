@@ -116,6 +116,54 @@ def test_fast_engine_traced_throughput(benchmark):
     assert result.mc_misses > 0
 
 
+def test_fast_engine_request_traced_memory(benchmark):
+    """Request-tracing overhead, in-memory sink: one record per measured
+    access (far fewer than per-slot) plus the queue-observer wrapper.
+    Compare against test_fast_engine_throughput for the attached cost and
+    against test_fast_engine_traced_throughput for the per-slot tracer."""
+    from repro.obs import MemorySink, RequestTracer
+
+    config = _small_system(Algorithm.IPP)
+
+    def traced():
+        return FastEngine(config,
+                          request_tracer=RequestTracer(MemorySink())).run()
+
+    result = benchmark(traced)
+    assert result.mc_misses > 0
+
+
+def test_fast_engine_request_traced_jsonl(benchmark, tmp_path):
+    """Request-tracing overhead with records serialized to JSONL — the
+    worst case a user pays when tracing to disk."""
+    from repro.obs import JsonlSink, RequestTracer
+
+    config = _small_system(Algorithm.IPP)
+    counter = iter(range(10_000_000))
+
+    def traced():
+        path = tmp_path / f"req_{next(counter)}.jsonl"
+        with JsonlSink(path) as sink:
+            return FastEngine(config,
+                              request_tracer=RequestTracer(sink)).run()
+
+    result = benchmark(traced)
+    assert result.mc_misses > 0
+
+
+def test_fast_engine_request_tracing_disabled(benchmark):
+    """Guard: with no request tracer the general loop pays one hoisted
+    boolean per access — this must stay indistinguishable from
+    test_fast_engine_throughput (force_general isolates the loop choice)."""
+    config = _small_system(Algorithm.IPP)
+
+    def untraced():
+        return FastEngine(config, force_general=True).run()
+
+    result = benchmark(untraced)
+    assert result.mc_misses > 0
+
+
 def test_pure_push_analytic_throughput(benchmark):
     config = SystemConfig(algorithm=Algorithm.PURE_PUSH,
                           run=RunConfig(settle_accesses=500,

@@ -5,8 +5,11 @@ Subcommands:
 - ``figures`` — regenerate one or all of the paper's figures and print
   the series as tables (optionally saving JSON and slot traces),
 - ``simulate`` — run a single configured system and dump its metrics,
-- ``trace`` — run one system with the slot tracer attached and write a
-  JSONL trace (one record per broadcast slot),
+- ``trace`` — run one system with a tracer attached and write a JSONL
+  trace (one record per broadcast slot, or per measured-client access
+  with ``--requests``),
+- ``report`` — summarize a saved figure JSON (tables, quantiles,
+  provenance) or a JSONL trace (wait breakdown) in the terminal,
 - ``profile`` — run the fast engine with phase timers and print the
   per-phase wall-time breakdown,
 - ``program`` — show a broadcast program's layout and analytic delays,
@@ -33,7 +36,7 @@ __all__ = ["main", "build_parser"]
 def _version() -> str:
     """Package version from installed metadata, source tree as fallback."""
     try:
-        from importlib.metadata import PackageNotFoundError, version
+        from importlib.metadata import version
         return version("repro")
     except Exception:  # pragma: no cover - metadata always present when installed
         from repro import __version__
@@ -142,6 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", type=Path, default=Path("trace.jsonl"), metavar="FILE",
         help="JSONL output path (default: trace.jsonl)")
+    trace.add_argument(
+        "--requests", action="store_true",
+        help="trace measured-client request lifecycles (one record per "
+             "access) instead of broadcast slots")
+
+    report = sub.add_parser(
+        "report", help="summarize a saved figure JSON or JSONL trace")
+    report.add_argument(
+        "path", nargs="?", type=Path, default=None, metavar="FIGURE_JSON",
+        help="a results/figure_*.json file to render")
+    report.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="summarize a JSONL trace (slot or request records) instead")
+    report.add_argument(
+        "--think-time", type=float, default=None, metavar="UNITS",
+        help="think time per access, to fill the think row of a request-"
+             "trace wait breakdown")
 
     profile_cmd = sub.add_parser(
         "profile", help="time the fast engine's hot-loop phases")
@@ -192,6 +212,29 @@ def _write_trace(config: SystemConfig, path: Path,
         return sink.emitted
 
 
+def _write_request_trace(config: SystemConfig, path: Path,
+                         engine: str = "fast") -> int:
+    """Request-trace ``config`` into a JSONL file; prints the breakdown."""
+    from repro.core.fast import FastEngine
+    from repro.core.simulation import ReferenceEngine
+    from repro.obs.requests import RequestTracer
+    from repro.obs.trace import JsonlSink
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with JsonlSink(path) as sink:
+        tracer = RequestTracer(sink)
+        if engine == "reference":
+            ReferenceEngine(config, request_tracer=tracer).run()
+        else:
+            FastEngine(config, request_tracer=tracer).run()
+        print(tracer.breakdown().render())
+        quantiles = tracer.wait_quantiles()
+        if quantiles:
+            print("measured miss wait quantiles: "
+                  + "  ".join(f"{k}={v:.1f}" for k, v in quantiles.items()))
+        return sink.emitted
+
+
 def _cmd_figures(args) -> int:
     ids = args.ids or list(ALL_FIGURES)
     unknown = [i for i in ids if i not in ALL_FIGURES]
@@ -214,6 +257,8 @@ def _cmd_figures(args) -> int:
         started = time.perf_counter()
         figure = ALL_FIGURES[fig_id](profile)
         elapsed = time.perf_counter() - started
+        if figure.manifest is not None:
+            figure.manifest["elapsed_seconds"] = elapsed
         print(render_figure(figure, show_drop_rates=args.drop_rates))
         if args.chart:
             print()
@@ -242,8 +287,83 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_trace(args) -> int:
     config = _system_config(args)
-    emitted = _write_trace(config, args.out, engine=args.engine)
-    print(f"{emitted} slot records -> {args.out}")
+    if args.requests:
+        emitted = _write_request_trace(config, args.out, engine=args.engine)
+        print(f"{emitted} request records -> {args.out}")
+    else:
+        emitted = _write_trace(config, args.out, engine=args.engine)
+        print(f"{emitted} slot records -> {args.out}")
+    return 0
+
+
+def _report_trace(path: Path, think_time) -> int:
+    """Summarize a JSONL trace file (slot or request records)."""
+    first = None
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                first = json.loads(line)
+                break
+    if first is None:
+        print(f"{path}: empty trace")
+        return 2
+    if "issued_at" in first:  # request-lifecycle records
+        from repro.obs.requests import breakdown_of, read_requests_jsonl
+
+        records = read_requests_jsonl(path)
+        measured = [r for r in records if r.measured]
+        print(f"request trace: {len(records)} records "
+              f"({len(measured)} measured) from {path}")
+        print()
+        print(breakdown_of(records, think_time=think_time).render())
+        waits = sorted(r.wait for r in measured if not r.hit)
+        if waits:
+            def rank(q: float) -> float:
+                return waits[min(len(waits) - 1, int(q * len(waits)))]
+
+            print(f"measured miss wait quantiles: p50={rank(0.50):.1f}  "
+                  f"p90={rank(0.90):.1f}  p99={rank(0.99):.1f}  "
+                  f"max={waits[-1]:.1f}")
+        return 0
+    if "slot" in first:  # slot records
+        from collections import Counter
+
+        from repro.obs.trace import read_jsonl
+
+        records = read_jsonl(path)
+        kinds = Counter(r.kind for r in records)
+        depth = (sum(r.queue_depth for r in records) / len(records)
+                 if records else 0.0)
+        print(f"slot trace: {len(records)} slots from {path}")
+        print("  slots by kind: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())))
+        print(f"  mean queue depth: {depth:.2f}")
+        if records:
+            print(f"  requests dropped: {records[-1].dropped}")
+        return 0
+    print(f"{path}: unrecognized trace record "
+          f"(keys: {', '.join(sorted(first))})", file=sys.stderr)
+    return 2
+
+
+def _cmd_report(args) -> int:
+    if (args.path is None) == (args.trace is None):
+        print("report: give exactly one of FIGURE_JSON or --trace FILE",
+              file=sys.stderr)
+        return 2
+    if args.trace is not None:
+        return _report_trace(args.trace, args.think_time)
+    from repro.experiments.base import load_figure
+    from repro.experiments.reporting import render_manifest, render_quantiles
+
+    figure = load_figure(args.path)
+    print(render_figure(figure))
+    print()
+    print("response-time quantiles (per series point):")
+    print(render_quantiles(figure))
+    print()
+    print(render_manifest(figure.manifest))
     return 0
 
 
@@ -321,6 +441,8 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "tune":

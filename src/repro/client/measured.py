@@ -66,6 +66,18 @@ class WarmupTracker:
             self._resident_targets -= 1
 
 
+def _latency_histograms():
+    """Fresh (all, miss) latency histograms.
+
+    Imported lazily: ``repro.obs`` reaches back into the engines at
+    package-import time, so a top-level import here would close a cycle.
+    """
+    from repro.obs.latency import LatencyHistogram
+
+    return (LatencyHistogram("mc_latency_all"),
+            LatencyHistogram("mc_latency_miss"))
+
+
 class MeasuredClient:
     """State shared by both engines when driving the MC loop."""
 
@@ -80,9 +92,13 @@ class MeasuredClient:
         self.think_time = think_time
         self.warmup: Optional[WarmupTracker] = (
             WarmupTracker(warmup_target) if warmup_target else None)
+        #: Optional :class:`~repro.obs.requests.RequestTracer`; the
+        #: engines attach it so both drive identical lifecycle hooks.
+        self.tracer = None
         # Statistics for the current measurement phase.
         self.response_all = Tally()
         self.response_miss = Tally()
+        self.latency_all, self.latency_miss = _latency_histograms()
         self.hits = 0
         self.misses = 0
         self.pulls_sent = 0
@@ -97,13 +113,21 @@ class MeasuredClient:
     def lookup(self, page: int, now: float) -> bool:
         """Check the cache; record a zero-delay response on a hit."""
         self.accesses += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_access(page, now, self.measuring)
         if self.cache.access(page, now):
             if self.measuring:
                 self.hits += 1
                 self.response_all.add(0.0)
+                self.latency_all.observe(0.0)
+            if tracer is not None:
+                tracer.on_hit(page, now)
             return True
         if self.measuring:
             self.misses += 1
+        if tracer is not None:
+            tracer.on_miss(page, now)
         return False
 
     def record_pull_sent(self) -> None:
@@ -119,16 +143,21 @@ class MeasuredClient:
         if self.measuring:
             self.response_all.add(response_time)
             self.response_miss.add(response_time)
+            self.latency_all.observe(response_time)
+            self.latency_miss.observe(response_time)
         evicted = self.cache.insert(page, now)
         if self.warmup is not None:
             if evicted is not None:
                 self.warmup.on_evict(evicted)
             self.warmup.on_insert(page, now)
+        if self.tracer is not None:
+            self.tracer.on_served(page, now)
 
     def reset_stats(self) -> None:
         """Clear tallies at the warm-up/measurement boundary."""
         self.response_all = Tally()
         self.response_miss = Tally()
+        self.latency_all, self.latency_miss = _latency_histograms()
         self.hits = 0
         self.misses = 0
         self.pulls_sent = 0

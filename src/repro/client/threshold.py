@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.broadcast.schedule import Schedule
+from repro.broadcast.schedule import NOT_BROADCAST, Schedule
 
 __all__ = ["ThresholdFilter"]
 
@@ -67,11 +67,11 @@ class ThresholdFilter:
         """Upper bound on the push wait for ``page`` in program positions.
 
         Infinite for pages not on the program — the "no safety net" case
-        Experiment 3 highlights.
+        Experiment 3 highlights.  Request tracers record this as the
+        predicted push wait for every miss, so a saved trace shows how
+        much latency each pull actually avoided.
         """
         if self.schedule is None:
             return math.inf
         distance = self.schedule.distance(page, schedule_pos)
-        from repro.broadcast.schedule import NOT_BROADCAST
-
         return math.inf if distance >= NOT_BROADCAST else float(distance + 1)

@@ -38,6 +38,7 @@ from repro.core.metrics import RunResult, TallySnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> core)
     from repro.obs.profile import HotLoopProfile
+    from repro.obs.requests import RequestTracer
     from repro.obs.trace import SlotTracer
 
 __all__ = ["FastEngine", "simulate", "simulate_warmup", "SimulationStall"]
@@ -56,7 +57,8 @@ class FastEngine:
     def __init__(self, config: SystemConfig, state: SystemState | None = None,
                  force_general: bool = False, controller=None,
                  tracer: "SlotTracer | None" = None,
-                 profiler: "HotLoopProfile | None" = None):
+                 profiler: "HotLoopProfile | None" = None,
+                 request_tracer: "RequestTracer | None" = None):
         """Args:
             config: the system to simulate.
             state: pre-built components (a fresh one is built if omitted).
@@ -72,6 +74,10 @@ class FastEngine:
             profiler: optional :class:`~repro.obs.profile.HotLoopProfile`
                 accumulating per-phase wall time; also forces the general
                 loop.
+            request_tracer: optional
+                :class:`~repro.obs.requests.RequestTracer` emitting one
+                lifecycle record per MC access; also forces the general
+                loop (the analytic shortcut never airs a slot to observe).
         """
         self.config = config
         self.state = state if state is not None else build_system(config)
@@ -79,6 +85,7 @@ class FastEngine:
         self.controller = controller
         self.tracer = tracer
         self.profiler = profiler
+        self.request_tracer = request_tracer
         if controller is not None and config.algorithm is not Algorithm.IPP:
             raise ValueError("adaptive control only applies to IPP")
 
@@ -99,10 +106,37 @@ class FastEngine:
         use_analytic = (self.config.algorithm is Algorithm.PURE_PUSH
                         and not self._force_general
                         and self.tracer is None
-                        and self.profiler is None)
-        if use_analytic:
-            return self._run_pure_push(warmup_mode)
-        return self._run_general(warmup_mode)
+                        and self.profiler is None
+                        and self.request_tracer is None)
+        started = time.perf_counter()
+        rtracer = self.request_tracer
+        if rtracer is not None:
+            # Attach before _run_general hoists queue.offer so the hot
+            # loop calls the observed wrapper; detach even on a stall so
+            # a reused SystemState never double-attaches.
+            if rtracer.think_time is None:
+                rtracer.think_time = self.state.mc.think_time
+            self.state.mc.tracer = rtracer
+            self.state.server.queue.attach_observer(rtracer.on_queue_offer)
+        try:
+            if use_analytic:
+                result = self._run_pure_push(warmup_mode)
+            else:
+                result = self._run_general(warmup_mode)
+        finally:
+            if rtracer is not None:
+                self.state.server.queue.detach_observer()
+                self.state.mc.tracer = None
+        return self._stamp(result, time.perf_counter() - started)
+
+    def _stamp(self, result: RunResult, elapsed: float) -> RunResult:
+        """Attach the run-provenance manifest (lazy import: obs -> core)."""
+        from dataclasses import replace
+
+        from repro.obs.manifest import run_manifest
+
+        return replace(result, manifest=run_manifest(
+            self.config, "fast", elapsed_seconds=elapsed))
 
     def _begin_measure(self) -> None:
         state = self.state
@@ -124,8 +158,10 @@ class FastEngine:
         return RunResult(
             algorithm=self.config.algorithm.value,
             seed=self.config.run.seed,
-            response_miss=TallySnapshot.of(mc.response_miss),
-            response_all=TallySnapshot.of(mc.response_all),
+            response_miss=TallySnapshot.of(mc.response_miss,
+                                           mc.latency_miss.quantiles()),
+            response_all=TallySnapshot.of(mc.response_all,
+                                          mc.latency_all.quantiles()),
             mc_hits=mc.hits,
             mc_misses=mc.misses,
             mc_pulls_sent=mc.pulls_sent,
@@ -279,6 +315,8 @@ class FastEngine:
         # loop pays one local-boolean test per phase and nothing else.
         tracer = self.tracer
         tracing = tracer is not None
+        rtracer = self.request_tracer
+        rtracing = rtracer is not None
         prof = self.profiler
         profiling = prof is not None
         _pc = time.perf_counter
@@ -349,12 +387,17 @@ class FastEngine:
                 if lookup(wanted, now):
                     mc_time = now + think
                 else:
+                    if rtracing:
+                        rtracer.on_miss_predict(threshold.max_push_wait(
+                            wanted, server.schedule_pos))
                     if uses_backchannel and threshold.passes(
                             wanted, server.schedule_pos):
-                        offer(wanted)
+                        outcome = offer(wanted)
                         mc.record_pull_sent()
                         if tracing:
                             tracer.on_mc_request(wanted)
+                        if rtracing:
+                            rtracer.on_pull(wanted, now, outcome)
                     waiting_page = wanted
                     requested_at = now
                     break
@@ -395,6 +438,11 @@ class FastEngine:
             # loop's exit slack, not a simulated slot, so it isn't traced.
             if tracing and not stop:
                 tracer.on_slot(t, kind, in_flight, queue, waiting_page)
+            # The MC's awaited page went on air at this slot's start; its
+            # delivery fires at t+1 in the next iteration's step 1.
+            if (rtracing and not stop and waiting_page is not None
+                    and in_flight == waiting_page):
+                rtracer.on_air(now_boundary, kind)
 
             if profiling:
                 _now = _pc()

@@ -18,21 +18,38 @@ __all__ = ["TallySnapshot", "RunResult"]
 
 @dataclass(frozen=True)
 class TallySnapshot:
-    """Frozen summary of a :class:`~repro.sim.monitor.Tally`."""
+    """Frozen summary of a :class:`~repro.sim.monitor.Tally`.
+
+    The optional p50/p90/p99 fields carry interpolated quantiles when the
+    producer also kept a :class:`~repro.obs.latency.LatencyHistogram`
+    beside the Welford tally; they stay None otherwise (and for snapshots
+    loaded from pre-quantile archives).
+    """
 
     count: int = 0
     mean: float = math.nan
     stddev: float = math.nan
     min: float = math.nan
     max: float = math.nan
+    p50: Optional[float] = None
+    p90: Optional[float] = None
+    p99: Optional[float] = None
 
     @classmethod
-    def of(cls, tally: Tally) -> "TallySnapshot":
-        """Freeze the current state of ``tally``."""
+    def of(cls, tally: Tally,
+           quantiles: Optional[dict[str, float]] = None) -> "TallySnapshot":
+        """Freeze the current state of ``tally``.
+
+        ``quantiles`` is the ``{"p50": ..., "p90": ..., "p99": ...}`` dict
+        a :class:`~repro.obs.latency.LatencyHistogram` reports.
+        """
         if tally.count == 0:
             return cls()
+        quantiles = quantiles or {}
         return cls(count=tally.count, mean=tally.mean, stddev=tally.stddev,
-                   min=tally.min, max=tally.max)
+                   min=tally.min, max=tally.max,
+                   p50=quantiles.get("p50"), p90=quantiles.get("p90"),
+                   p99=quantiles.get("p99"))
 
 
 @dataclass(frozen=True)
@@ -80,6 +97,11 @@ class RunResult:
     warmup_times: Optional[dict[float, float]] = None
     #: Free-form extras (sweep coordinates etc.).
     params: dict[str, Any] = field(default_factory=dict)
+    #: Run provenance (:func:`repro.obs.manifest.run_manifest`).  Carries
+    #: a wall-clock timestamp, so it is excluded from equality: two runs
+    #: of the same seed stay == even when stamped at different times.
+    manifest: Optional[dict[str, Any]] = field(
+        default=None, compare=False, repr=False)
 
     @property
     def mc_miss_rate(self) -> float:

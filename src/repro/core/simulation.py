@@ -19,6 +19,8 @@ agreement between the two validates the fast engine's shortcuts.
 
 from __future__ import annotations
 
+import math
+import time
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -31,6 +33,7 @@ from repro.server.broadcast_server import SlotKind
 from repro.sim import Environment, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> core)
+    from repro.obs.requests import RequestTracer
     from repro.obs.trace import SlotTracer
 
 __all__ = ["ReferenceEngine"]
@@ -40,7 +43,8 @@ class ReferenceEngine:
     """Process-per-entity simulation of one configured system."""
 
     def __init__(self, config: SystemConfig, state: SystemState | None = None,
-                 tracer: "SlotTracer | None" = None):
+                 tracer: "SlotTracer | None" = None,
+                 request_tracer: "RequestTracer | None" = None):
         self.config = config
         self.state = state if state is not None else build_system(config)
         self.env = Environment()
@@ -49,10 +53,14 @@ class ReferenceEngine:
         self._arrivals: dict[int, Event] = {}
         #: Page currently being transmitted (None between slots / idle).
         self._on_air: Optional[int] = None
+        #: Kind of the slot carrying :attr:`_on_air` (observability only).
+        self._on_air_kind: Optional[SlotKind] = None
         self._vc_rng = np.random.default_rng(
             np.random.SeedSequence((config.run.seed, 0xBEEF)))
         #: Optional slot tracer (same record schema as the fast engine's).
         self.tracer = tracer
+        #: Optional request tracer (same record schema as the fast engine's).
+        self.request_tracer = request_tracer
         #: Page the MC is currently blocked on (observability only).
         self._mc_waiting: Optional[int] = None
         # Phase control.
@@ -78,10 +86,17 @@ class ReferenceEngine:
 
     # -- orchestration -------------------------------------------------------------
     def _execute(self, warmup_mode: bool) -> RunResult:
+        started = time.perf_counter()
         self._warmup_mode = warmup_mode
         if warmup_mode:
             self._phase = "measure"
             self._begin_measure()
+        rtracer = self.request_tracer
+        if rtracer is not None:
+            if rtracer.think_time is None:
+                rtracer.think_time = self.state.mc.think_time
+            self.state.mc.tracer = rtracer
+            self.state.server.queue.attach_observer(rtracer.on_queue_offer)
         # The MC starts before the server so a boundary-aligned access is
         # processed before the slot tick — the same event order the fast
         # engine and classic CSIM models use.
@@ -90,12 +105,26 @@ class ReferenceEngine:
         if self.config.algorithm.uses_backchannel:
             self.env.process(self._vc_process())
         max_slots = self.config.run.max_slots
-        while self._end_time is None:
-            if not self.env.peek() < max_slots:
-                raise SimulationStall(
-                    f"run exceeded max_slots={max_slots}")
-            self.env.step()
-        return self._result()
+        try:
+            while self._end_time is None:
+                if not self.env.peek() < max_slots:
+                    raise SimulationStall(
+                        f"run exceeded max_slots={max_slots}")
+                self.env.step()
+        finally:
+            if rtracer is not None:
+                self.state.server.queue.detach_observer()
+                self.state.mc.tracer = None
+        return self._stamp(self._result(), time.perf_counter() - started)
+
+    def _stamp(self, result: RunResult, elapsed: float) -> RunResult:
+        """Attach the run-provenance manifest (lazy import: obs -> core)."""
+        from dataclasses import replace
+
+        from repro.obs.manifest import run_manifest
+
+        return replace(result, manifest=run_manifest(
+            self.config, "reference", elapsed_seconds=elapsed))
 
     def _begin_measure(self) -> None:
         state = self.state
@@ -150,6 +179,12 @@ class ReferenceEngine:
                 tracer.on_slot(int(env.now), kind, page, server.queue,
                                self._mc_waiting)
             self._on_air = page
+            self._on_air_kind = kind
+            if (self.request_tracer is not None and page is not None
+                    and page == self._mc_waiting):
+                # The MC was already blocked on this page when it went on
+                # air (mid-slot misses are caught in _mc_process instead).
+                self.request_tracer.on_air(env.now, kind)
             # End-of-slot deliveries must become visible BEFORE any client
             # activity at the same instant (a fresh miss at the boundary
             # cannot catch a transmission that already finished), so the
@@ -160,6 +195,7 @@ class ReferenceEngine:
                 if event is not None:
                     event.succeed(env.now)
             self._on_air = None
+            self._on_air_kind = None
             # ...and the next tick re-enters at normal priority so a
             # boundary-aligned client request (scheduled long ago, lower
             # sequence number) is processed before the server frees queue
@@ -184,6 +220,7 @@ class ReferenceEngine:
         threshold = self.state.mc_threshold
         server = self.state.server
         uses_backchannel = self.config.algorithm.uses_backchannel
+        rtracer = self.request_tracer
         env = self.env
         while True:
             now = env.now
@@ -191,6 +228,9 @@ class ReferenceEngine:
             if mc.lookup(page, now):
                 self._access_completed(now)
             else:
+                if rtracer is not None:
+                    rtracer.on_miss_predict(threshold.max_push_wait(
+                        page, server.schedule_pos))
                 send_pull = False
                 if uses_backchannel:
                     send_pull = threshold.passes(page, server.schedule_pos)
@@ -198,8 +238,19 @@ class ReferenceEngine:
                         mc.record_pull_sent()
                         if self.tracer is not None:
                             self.tracer.on_mc_request(page)
+                        # The MC's own offer happens here (rather than in
+                        # _obtain) so the tracer can record its outcome;
+                        # no yield separates the two, so the queue sees
+                        # the identical mutation order either way.
+                        outcome = server.queue.offer(page)
+                        if rtracer is not None:
+                            rtracer.on_pull(page, now, outcome)
                 self._mc_waiting = page
-                arrived_at = yield from self._obtain(page, send_pull)
+                if rtracer is not None and self._on_air == page:
+                    # Mid-slot miss on a page already transmitting: the
+                    # slot started at the last integer boundary.
+                    rtracer.on_air(math.floor(now), self._on_air_kind)
+                arrived_at = yield from self._obtain(page, send_pull=False)
                 self._mc_waiting = None
                 mc.receive(page, now, arrived_at)
                 self._access_completed(arrived_at)
@@ -240,8 +291,10 @@ class ReferenceEngine:
         return RunResult(
             algorithm=self.config.algorithm.value,
             seed=self.config.run.seed,
-            response_miss=TallySnapshot.of(mc.response_miss),
-            response_all=TallySnapshot.of(mc.response_all),
+            response_miss=TallySnapshot.of(mc.response_miss,
+                                           mc.latency_miss.quantiles()),
+            response_all=TallySnapshot.of(mc.response_all,
+                                          mc.latency_all.quantiles()),
             mc_hits=mc.hits,
             mc_misses=mc.misses,
             mc_pulls_sent=mc.pulls_sent,

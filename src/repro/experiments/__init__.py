@@ -14,11 +14,14 @@ same series the paper plots.
 """
 
 from repro.experiments.base import (
+    FIGURE_SCHEMA_VERSION,
     FigureResult,
     FigureSeries,
     Profile,
     QUICK,
     FULL,
+    figure_from_dict,
+    load_figure,
     run_replicated,
     run_sweep,
 )
@@ -48,11 +51,14 @@ ALL_FIGURES = {
 }
 
 __all__ = [
+    "FIGURE_SCHEMA_VERSION",
     "FigureResult",
     "FigureSeries",
     "Profile",
     "QUICK",
     "FULL",
+    "figure_from_dict",
+    "load_figure",
     "run_replicated",
     "run_sweep",
     "figure_3a",

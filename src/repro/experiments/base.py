@@ -27,10 +27,20 @@ __all__ = [
     "PointStats",
     "FigureSeries",
     "FigureResult",
+    "FIGURE_SCHEMA_VERSION",
+    "figure_from_dict",
+    "load_figure",
     "run_replicated",
     "run_sweep",
+    "sweep_series",
     "PAPER_TTRS",
 ]
+
+#: Version of the ``results/figure_*.json`` layout.  Version 2 added
+#: ``schema_version`` itself, the provenance ``manifest``, and per-series
+#: ``stddev`` / ``replicates`` / quantile arrays; version-1 files (no
+#: ``schema_version`` key) are still loadable via :func:`figure_from_dict`.
+FIGURE_SCHEMA_VERSION = 2
 
 #: Table 3's ThinkTimeRatio grid.
 PAPER_TTRS: tuple[int, ...] = (10, 25, 50, 100, 250)
@@ -82,6 +92,12 @@ class PointStats:
     replicates: int
     #: Mean server drop rate across replicates.
     drop_rate: float
+    #: Mean response-time quantiles across replicates (None when the
+    #: underlying runs carried no quantiles, e.g. warm-up sweeps or
+    #: points loaded from pre-quantile archives).
+    p50: Optional[float] = None
+    p90: Optional[float] = None
+    p99: Optional[float] = None
     #: The raw per-replicate results (kept for diagnostics).
     results: tuple[RunResult, ...] = field(repr=False, default=())
 
@@ -90,11 +106,21 @@ class PointStats:
            metric: Callable[[RunResult], float]) -> "PointStats":
         """Aggregate ``results`` under ``metric``."""
         values = [metric(r) for r in results]
+
+        def mean_quantile(name: str) -> Optional[float]:
+            marks = [getattr(r.response_miss, name) for r in results]
+            if any(mark is None for mark in marks):
+                return None
+            return statistics.fmean(marks)
+
         return cls(
             mean=statistics.fmean(values),
             stddev=(statistics.stdev(values) if len(values) > 1 else 0.0),
             replicates=len(values),
             drop_rate=statistics.fmean(r.drop_rate for r in results),
+            p50=mean_quantile("p50"),
+            p90=mean_quantile("p90"),
+            p99=mean_quantile("p99"),
             results=tuple(results),
         )
 
@@ -123,6 +149,8 @@ class FigureResult:
     y_label: str
     series: list[FigureSeries]
     notes: list[str] = field(default_factory=list)
+    #: Sweep provenance (:func:`repro.obs.manifest.sweep_manifest`).
+    manifest: Optional[dict[str, Any]] = None
 
     def series_by_label(self, label: str) -> FigureSeries:
         """Find a series by its label (raises KeyError if absent)."""
@@ -132,23 +160,84 @@ class FigureResult:
         raise KeyError(label)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready form of the figure."""
+        """JSON-ready form of the figure (schema version 2).
+
+        Quantile arrays are emitted only when the series carries them, so
+        warm-up figures keep the exact historic key set plus the version
+        and provenance fields.
+        """
+        def series_dict(s: FigureSeries) -> dict[str, Any]:
+            data: dict[str, Any] = {
+                "label": s.label,
+                "x": list(s.x),
+                "y": list(s.y),
+                "drop_rate": [p.drop_rate for p in s.points],
+                "stddev": [p.stddev for p in s.points],
+                "replicates": [p.replicates for p in s.points],
+            }
+            for name in ("p50", "p90", "p99"):
+                marks = [getattr(p, name) for p in s.points]
+                if any(mark is not None for mark in marks):
+                    data[name] = marks
+            return data
+
         return {
+            "schema_version": FIGURE_SCHEMA_VERSION,
             "figure": self.figure_id,
             "title": self.title,
             "x_label": self.x_label,
             "y_label": self.y_label,
             "notes": list(self.notes),
-            "series": [
-                {
-                    "label": s.label,
-                    "x": list(s.x),
-                    "y": list(s.y),
-                    "drop_rate": [p.drop_rate for p in s.points],
-                }
-                for s in self.series
-            ],
+            "manifest": self.manifest,
+            "series": [series_dict(s) for s in self.series],
         }
+
+
+def figure_from_dict(data: dict[str, Any]) -> FigureResult:
+    """Rebuild a :class:`FigureResult` from its :meth:`~FigureResult.to_dict`.
+
+    Accepts both schema version 2 and the version-1 layout (no
+    ``schema_version`` key, no stddev/replicates/quantiles/manifest) that
+    pre-provenance archives under ``results/`` use.  Loaded points carry
+    no raw :class:`~repro.core.metrics.RunResult` objects.
+    """
+    version = data.get("schema_version", 1)
+    if not 1 <= version <= FIGURE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported figure schema_version {version!r}")
+    series = []
+    for s in data["series"]:
+        count = len(s["x"])
+        stddev = s.get("stddev", [0.0] * count)
+        replicates = s.get("replicates", [0] * count)
+        quantiles = {name: s.get(name, [None] * count)
+                     for name in ("p50", "p90", "p99")}
+        points = [
+            PointStats(mean=s["y"][i], stddev=stddev[i],
+                       replicates=replicates[i],
+                       drop_rate=s["drop_rate"][i],
+                       p50=quantiles["p50"][i], p90=quantiles["p90"][i],
+                       p99=quantiles["p99"][i])
+            for i in range(count)
+        ]
+        series.append(FigureSeries(label=s["label"], x=list(s["x"]),
+                                   points=points))
+    return FigureResult(
+        figure_id=data["figure"],
+        title=data["title"],
+        x_label=data["x_label"],
+        y_label=data["y_label"],
+        series=series,
+        notes=list(data.get("notes", [])),
+        manifest=data.get("manifest"),
+    )
+
+
+def load_figure(path) -> FigureResult:
+    """Load a saved ``results/figure_*.json`` (any schema version)."""
+    import json
+    from pathlib import Path
+
+    return figure_from_dict(json.loads(Path(path).read_text()))
 
 
 def _execute(task: tuple[SystemConfig, bool]) -> RunResult:

@@ -11,6 +11,7 @@ import statistics
 
 from repro.client.measured import WARMUP_LEVELS
 from repro.core.algorithms import Algorithm
+from repro.obs.manifest import sweep_manifest
 from repro.core.config import SystemConfig
 from repro.experiments.base import (
     FigureResult,
@@ -66,6 +67,7 @@ def figure_3a(profile: Profile, ttrs=PAPER_TTRS) -> FigureResult:
         x_label="Think Time Ratio",
         y_label="Response Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )
 
 
@@ -92,6 +94,7 @@ def figure_3b(profile: Profile, ttrs=PAPER_TTRS) -> FigureResult:
         x_label="Think Time Ratio",
         y_label="Response Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )
 
 
@@ -149,6 +152,7 @@ def figure_4(profile: Profile, think_time_ratio: int) -> FigureResult:
         x_label="Cache Warm Up %",
         y_label="Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )
 
 
@@ -186,4 +190,5 @@ def figure_5(profile: Profile, variant: str,
         x_label="Think Time Ratio",
         y_label="Response Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )

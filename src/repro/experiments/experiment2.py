@@ -14,6 +14,7 @@ from repro.experiments.base import (
     Profile,
     sweep_series,
 )
+from repro.obs.manifest import sweep_manifest
 from repro.experiments.experiment1 import _base, _flat_push_series
 
 __all__ = ["figure_6", "FIGURE6_TTRS"]
@@ -48,4 +49,5 @@ def figure_6(profile: Profile, pull_bw: float,
         x_label="Think Time Ratio",
         y_label="Response Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )

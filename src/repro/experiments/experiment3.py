@@ -18,6 +18,7 @@ from repro.experiments.base import (
     sweep_series,
 )
 from repro.experiments.experiment1 import _base, _flat_push_series
+from repro.obs.manifest import sweep_manifest
 
 __all__ = ["figure_7", "figure_8", "CHOP_STEPS"]
 
@@ -66,6 +67,7 @@ def figure_7(profile: Profile, thresh_perc: float,
         x_label="Number of Non-Broadcast Pages",
         y_label="Response Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )
 
 
@@ -99,4 +101,5 @@ def figure_8(profile: Profile, ttrs=PAPER_TTRS,
         x_label="Think Time Ratio",
         y_label="Response Time (Broadcast Units)",
         series=series,
+        manifest=sweep_manifest(profile),
     )

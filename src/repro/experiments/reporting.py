@@ -7,7 +7,13 @@ from typing import Sequence
 
 from repro.experiments.base import FigureResult
 
-__all__ = ["format_table", "render_figure", "render_ascii_chart"]
+__all__ = [
+    "format_table",
+    "render_figure",
+    "render_ascii_chart",
+    "render_manifest",
+    "render_quantiles",
+]
 
 
 def format_table(headers: Sequence[str],
@@ -64,6 +70,60 @@ def render_figure(figure: FigureResult, show_drop_rates: bool = False) -> str:
     if figure.notes:
         parts.extend(f"note: {note}" for note in figure.notes)
     return "\n".join(parts)
+
+
+def render_quantiles(figure: FigureResult) -> str:
+    """Per-series response-time quantile table (p50/p90/p99 at each x).
+
+    Returns an explanatory one-liner when the figure carries no quantiles
+    (warm-up figures, or archives saved before schema version 2).
+    """
+    rows = []
+    for series in figure.series:
+        for i, x in enumerate(series.x):
+            point = series.points[i]
+            if point.p50 is None and point.p90 is None and point.p99 is None:
+                continue
+            rows.append((series.label, x, point.mean,
+                         _mark(point.p50), _mark(point.p90), _mark(point.p99)))
+    if not rows:
+        return "(no quantile data — saved before schema version 2?)"
+    headers = ("series", figure.x_label, "mean", "p50", "p90", "p99")
+    return format_table(headers, rows)
+
+
+def _mark(value) -> float:
+    return math.nan if value is None else value
+
+
+def render_manifest(manifest) -> str:
+    """Summarize a run/sweep provenance manifest as 'key: value' lines.
+
+    The (large) embedded config dict is reduced to its top-level keys;
+    ``repro-broadcast report`` prints this under the figure tables.
+    """
+    if not manifest:
+        return "(no manifest — saved before schema version 2?)"
+    lines = []
+    order = ("created_utc", "engine", "seed", "package", "package_version",
+             "python_version", "numpy_version", "elapsed_seconds",
+             "manifest_version")
+    for key in order:
+        if key in manifest:
+            value = manifest[key]
+            if key == "elapsed_seconds":
+                value = f"{value:.2f}s"
+            lines.append(f"  {key}: {value}")
+    config = manifest.get("config")
+    if isinstance(config, dict):
+        summary = ", ".join(f"{k}={v}" for k, v in config.items()
+                            if not isinstance(v, (dict, list)))
+        nested = [k for k, v in config.items() if isinstance(v, (dict, list))]
+        if summary:
+            lines.append(f"  config: {summary}")
+        if nested:
+            lines.append(f"  config sections: {', '.join(nested)}")
+    return "provenance:\n" + "\n".join(lines)
 
 
 #: Plot glyphs cycled across series.

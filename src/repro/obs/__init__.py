@@ -10,13 +10,27 @@ opens the black box:
 - :mod:`repro.obs.profile` — phase timers for the fast engine's hot loop
   (slots/sec, per-phase wall-time breakdown),
 - :mod:`repro.obs.compare` — trace diffing that pinpoints the first slot
-  where two engine runs diverge.
+  where two engine runs diverge,
+- :mod:`repro.obs.requests` — request-lifecycle tracing: one record per
+  measured-client access with a wait decomposition,
+- :mod:`repro.obs.latency` — log-bucketed latency histograms with
+  interpolated p50/p90/p99 quantiles,
+- :mod:`repro.obs.manifest` — run/sweep provenance manifests (seed,
+  config, versions, timestamp).
 
 Everything is opt-in: engines built without a tracer/profiler run the
 exact pre-observability hot path.
 """
 
 from repro.obs.compare import TraceDiff, capture_trace, compare_engines, diff_traces
+from repro.obs.latency import LATENCY_BUCKETS, LatencyHistogram, log_buckets
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    config_to_dict,
+    package_version,
+    run_manifest,
+    sweep_manifest,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -25,6 +39,13 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
 )
 from repro.obs.profile import HotLoopProfile, PhaseTimer, profile_run
+from repro.obs.requests import (
+    RequestRecord,
+    RequestTracer,
+    WaitBreakdown,
+    breakdown_of,
+    read_requests_jsonl,
+)
 from repro.obs.trace import (
     JsonlSink,
     MemorySink,
@@ -55,4 +76,17 @@ __all__ = [
     "diff_traces",
     "capture_trace",
     "compare_engines",
+    "RequestRecord",
+    "RequestTracer",
+    "WaitBreakdown",
+    "breakdown_of",
+    "read_requests_jsonl",
+    "LatencyHistogram",
+    "LATENCY_BUCKETS",
+    "log_buckets",
+    "MANIFEST_VERSION",
+    "config_to_dict",
+    "package_version",
+    "run_manifest",
+    "sweep_manifest",
 ]

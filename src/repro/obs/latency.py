@@ -1,0 +1,101 @@
+"""Log-bucketed streaming latency distributions.
+
+The paper reports client response time as a mean, but means hide exactly
+the per-user tail behaviour that distinguishes the algorithms (Robert &
+Schabanel's fairness critique, PAPERS.md): a Pure-Pull client at high
+load sees a few enormous waits, an IPP client many moderate ones, and the
+two can share a mean.  :class:`LatencyHistogram` keeps a log-spaced
+bucket histogram next to the Welford summary its base class already
+maintains, so a run can report p50/p90/p99 response-time quantiles in
+O(buckets) memory regardless of run length.
+
+Unlike the base :class:`~repro.obs.metrics.Histogram` (whose ``quantile``
+returns a bucket upper bound), quantiles here interpolate linearly inside
+the owning bucket and clamp to the observed min/max, which keeps small
+traces from quantizing to bucket edges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "log_buckets"]
+
+
+def log_buckets(low: float = 1.0, high: float = 1e5) -> tuple[float, ...]:
+    """1-2-5 decade ladder of bucket upper bounds covering [low, high].
+
+    The 1-2-5 pattern keeps roughly three buckets per decade (a ~2.2x
+    relative resolution) while every bound stays a round number, which
+    matters for the terminal tables the ``report`` command prints.
+    """
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    bounds: list[float] = []
+    decade = 10.0 ** math.floor(math.log10(low))
+    while decade <= high:
+        for mantissa in (1.0, 2.0, 5.0):
+            bound = mantissa * decade
+            if low <= bound <= high:
+                bounds.append(bound)
+        decade *= 10.0
+    return tuple(bounds)
+
+
+#: Default bounds for response times in broadcast units: sub-slot waits up
+#: to the ~100k-slot stalls a saturated Pure-Pull queue can produce.
+LATENCY_BUCKETS: tuple[float, ...] = (0.5,) + log_buckets(1.0, 1e5)
+
+
+class LatencyHistogram(Histogram):
+    """A :class:`Histogram` tuned for response times.
+
+    Log-spaced default buckets, interpolated quantiles, and a
+    ``quantiles()`` convenience returning the p50/p90/p99 dict the run
+    results serialize.
+    """
+
+    def __init__(self, name: str = "latency", help_: str = "",
+                 buckets: Sequence[float] = LATENCY_BUCKETS):
+        super().__init__(name, help_, buckets)
+
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile (NaN when empty).
+
+        Linear interpolation between the owning bucket's bounds, with the
+        observed min/max standing in for the open-ended first and last
+        bucket edges; exact for the 0- and 1-quantiles.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        tally = self._tally
+        total = tally.count
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                cumulative += count
+                continue
+            if cumulative + count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else tally.min
+                upper = (self.bounds[index] if index < len(self.bounds)
+                         else tally.max)
+                lower = min(max(lower, tally.min), tally.max)
+                upper = max(min(upper, tally.max), lower)
+                fraction = (rank - cumulative) / count
+                return lower + fraction * (upper - lower)
+            cumulative += count
+        return tally.max
+
+    def quantiles(self) -> Optional[dict[str, float]]:
+        """``{"p50": ..., "p90": ..., "p99": ...}``; None when empty."""
+        if self._tally.count == 0:
+            return None
+        return {"p50": self.quantile(0.50),
+                "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99)}

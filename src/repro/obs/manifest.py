@@ -1,0 +1,121 @@
+"""Run provenance: enough metadata to reproduce any saved number.
+
+A saved ``RunResult`` or ``results/figure_*.json`` used to be an orphan —
+no record of the seed, the config, or the code version that produced it.
+Every engine run now stamps a *manifest*: a plain JSON-ready dict with
+the full configuration, the seed, the engine, the package / python /
+numpy versions, a UTC timestamp, and the elapsed wall time.  Figure
+sweeps attach the analogous sweep-level manifest (the
+:class:`~repro.experiments.base.Profile` plus versions).
+
+Manifests are deliberately plain dicts, not dataclasses: they ride along
+inside pickled results through process pools, serialize with ``json``
+as-is, and tolerate fields added by future versions.
+"""
+
+from __future__ import annotations
+
+import enum
+import platform
+from dataclasses import asdict, is_dataclass
+from datetime import datetime, timezone
+from typing import Any, Optional
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "config_to_dict",
+    "package_version",
+    "run_manifest",
+    "sweep_manifest",
+]
+
+#: Bumped when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+_VERSION_CACHE: Optional[str] = None
+
+
+def package_version() -> str:
+    """The installed ``repro`` version (source-tree fallback), cached."""
+    global _VERSION_CACHE
+    if _VERSION_CACHE is None:
+        try:
+            from importlib.metadata import version
+
+            _VERSION_CACHE = version("repro")
+        except Exception:
+            # Running from a source tree: import lazily to dodge the
+            # repro -> core -> obs import cycle at module-load time.
+            from repro import __version__
+
+            _VERSION_CACHE = __version__
+    return _VERSION_CACHE
+
+
+def config_to_dict(config: Any) -> dict:
+    """A :class:`~repro.core.config.SystemConfig` as a JSON-ready dict.
+
+    Accepts any dataclass; enum values are flattened to their ``.value``.
+    """
+    if not is_dataclass(config):
+        raise TypeError(f"expected a dataclass, got {type(config).__name__}")
+
+    def convert(value):
+        if isinstance(value, enum.Enum):
+            return value.value
+        if isinstance(value, dict):
+            return {key: convert(v) for key, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        return value
+
+    return convert(asdict(config))
+
+
+def _environment() -> dict:
+    """The version stamps shared by run- and sweep-level manifests."""
+    import numpy
+
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "package": "repro",
+        "package_version": package_version(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+    }
+
+
+def run_manifest(config: Any, engine: str,
+                 elapsed_seconds: Optional[float] = None) -> dict:
+    """Provenance for one engine run of ``config``.
+
+    Args:
+        config: the :class:`~repro.core.config.SystemConfig` simulated.
+        engine: ``"fast"`` or ``"reference"``.
+        elapsed_seconds: wall time of the run, when the caller timed it.
+    """
+    manifest = _environment()
+    manifest["engine"] = engine
+    manifest["seed"] = config.run.seed
+    manifest["config"] = config_to_dict(config)
+    if elapsed_seconds is not None:
+        manifest["elapsed_seconds"] = elapsed_seconds
+    return manifest
+
+
+def sweep_manifest(profile: Any, engine: str = "fast",
+                   elapsed_seconds: Optional[float] = None) -> dict:
+    """Provenance for a figure sweep run under ``profile``.
+
+    The profile *is* the sweep-level configuration (run-scale knobs plus
+    the base seed); per-run configs live in the figure functions.
+    """
+    manifest = _environment()
+    manifest["engine"] = engine
+    manifest["seed"] = profile.base_seed
+    manifest["config"] = config_to_dict(profile)
+    if elapsed_seconds is not None:
+        manifest["elapsed_seconds"] = elapsed_seconds
+    return manifest

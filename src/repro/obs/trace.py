@@ -25,7 +25,7 @@ import json
 from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, Iterable, Optional
+from typing import IO, Optional
 
 __all__ = [
     "SlotRecord",
@@ -151,14 +151,19 @@ class JsonlSink(TraceSink):
             self._file = None
 
 
-def read_jsonl(path: str | Path) -> list[SlotRecord]:
-    """Load a trace previously written by :class:`JsonlSink`."""
+def read_jsonl(path: str | Path, cls=SlotRecord) -> list:
+    """Load a trace previously written by :class:`JsonlSink`.
+
+    ``cls`` is the record type to rebuild — any class with a
+    ``from_dict`` classmethod (e.g.
+    :class:`~repro.obs.requests.RequestRecord` for request traces).
+    """
     records = []
     with Path(path).open() as handle:
         for line in handle:
             line = line.strip()
             if line:
-                records.append(SlotRecord.from_dict(json.loads(line)))
+                records.append(cls.from_dict(json.loads(line)))
     return records
 
 

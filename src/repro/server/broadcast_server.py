@@ -29,6 +29,11 @@ class SlotKind(enum.Enum):
     PADDING = "padding"  #: an empty program slot (chunk padding)
     IDLE = "idle"      #: no program and an empty queue (Pure-Pull only)
 
+    @property
+    def carries_page(self) -> bool:
+        """True for slot kinds that transmit a page a client can receive."""
+        return self in (SlotKind.PUSH, SlotKind.PULL)
+
 
 class BroadcastServer:
     """Broadcast server: periodic program + bounded pull queue + MUX."""

@@ -81,6 +81,30 @@ class BoundedRequestQueue:
         self.enqueued += 1
         return Offer.ENQUEUED
 
+    def attach_observer(self, callback) -> None:
+        """Report every offer outcome to ``callback(page, outcome)``.
+
+        Implemented by shadowing :meth:`offer` with a wrapping instance
+        attribute, so the un-observed hot path keeps zero extra branches
+        — attaching costs one closure call per offer, detaching restores
+        the plain bound method.  One observer at a time (request tracers
+        fan out internally if they need more).
+        """
+        if "offer" in self.__dict__:
+            raise RuntimeError("an observer is already attached")
+        inner = self.offer
+
+        def observed_offer(page: int) -> Offer:
+            outcome = inner(page)
+            callback(page, outcome)
+            return outcome
+
+        self.offer = observed_offer  # type: ignore[method-assign]
+
+    def detach_observer(self) -> None:
+        """Remove the observer installed by :meth:`attach_observer`."""
+        self.__dict__.pop("offer", None)
+
     def pop(self) -> int:
         """Dequeue the oldest request for service (raises if empty)."""
         page = self._fifo.popleft()

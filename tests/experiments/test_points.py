@@ -1,0 +1,34 @@
+"""Guard: the representative-points table tracks the figure registry."""
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, REPRESENTATIVE_POINTS
+from repro.experiments.points import representative_config
+
+
+def test_every_figure_has_a_representative_point():
+    missing = sorted(set(ALL_FIGURES) - set(REPRESENTATIVE_POINTS))
+    assert not missing, (
+        f"figures without a representative point: {missing} — add entries "
+        "to repro.experiments.points.REPRESENTATIVE_POINTS so trace/profile "
+        "can resolve them")
+
+
+def test_no_stale_representative_points():
+    stale = sorted(set(REPRESENTATIVE_POINTS) - set(ALL_FIGURES))
+    assert not stale, (
+        f"representative points for unknown figures: {stale} — remove them "
+        "or register the figure in repro.experiments.ALL_FIGURES")
+
+
+def test_representative_configs_are_runnable():
+    # Cheap structural check: every point is a complete SystemConfig whose
+    # algorithm/figure pairing makes sense for tracing.
+    for fig_id, config in REPRESENTATIVE_POINTS.items():
+        assert config.client.cache_size > 0, fig_id
+        assert config.run.seed is not None, fig_id
+
+
+def test_representative_config_raises_on_unknown_id():
+    with pytest.raises(KeyError):
+        representative_config("99z")

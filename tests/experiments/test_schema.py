@@ -1,0 +1,100 @@
+"""Figure JSON schema: version-2 round-trips, version-1 stays loadable."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import (
+    FIGURE_SCHEMA_VERSION,
+    FigureResult,
+    FigureSeries,
+    PointStats,
+    figure_from_dict,
+    load_figure,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "results"
+
+
+def _figure(with_quantiles: bool = True, manifest=None) -> FigureResult:
+    def point(mean: float) -> PointStats:
+        quantiles = ({"p50": mean, "p90": mean * 2, "p99": mean * 4}
+                     if with_quantiles else {})
+        return PointStats(mean=mean, stddev=0.5, replicates=3,
+                          drop_rate=0.01, **quantiles)
+
+    series = FigureSeries(label="IPP", x=[10.0, 100.0],
+                          points=[point(5.0), point(50.0)])
+    return FigureResult(figure_id="test", title="A test figure",
+                        x_label="ThinkTime", y_label="Response",
+                        series=[series], notes=["note"], manifest=manifest)
+
+
+class TestSchemaV2:
+    def test_to_dict_carries_version(self):
+        data = _figure().to_dict()
+        assert data["schema_version"] == FIGURE_SCHEMA_VERSION == 2
+
+    def test_round_trip_preserves_everything(self):
+        original = _figure(manifest={"engine": "fast", "seed": 42})
+        text = json.dumps(original.to_dict(), allow_nan=False)
+        loaded = figure_from_dict(json.loads(text))
+        assert loaded.figure_id == original.figure_id
+        assert loaded.notes == original.notes
+        assert loaded.manifest == {"engine": "fast", "seed": 42}
+        [series] = loaded.series
+        assert series.x == [10.0, 100.0]
+        assert series.y == [5.0, 50.0]
+        assert [p.stddev for p in series.points] == [0.5, 0.5]
+        assert [p.replicates for p in series.points] == [3, 3]
+        assert [p.p99 for p in series.points] == [20.0, 200.0]
+        # Raw RunResults are never serialized.
+        assert all(p.results == () for p in series.points)
+
+    def test_quantile_arrays_omitted_when_absent(self):
+        data = _figure(with_quantiles=False).to_dict()
+        [series] = data["series"]
+        assert "p50" not in series and "p99" not in series
+        loaded = figure_from_dict(data)
+        assert all(p.p50 is None for p in loaded.series[0].points)
+
+    def test_save_load_round_trip_on_disk(self, tmp_path):
+        path = tmp_path / "figure_test.json"
+        path.write_text(json.dumps(_figure().to_dict()))
+        loaded = load_figure(path)
+        assert loaded.series[0].points[1].p90 == 100.0
+
+
+class TestSchemaV1Compat:
+    def test_v1_dict_loads_with_defaults(self):
+        v1 = {
+            "figure": "3a",
+            "title": "legacy",
+            "x_label": "x",
+            "y_label": "y",
+            "notes": [],
+            "series": [{"label": "Pull", "x": [1.0, 2.0], "y": [3.0, 4.0],
+                        "drop_rate": [0.0, 0.0]}],
+        }
+        loaded = figure_from_dict(v1)
+        [series] = loaded.series
+        assert series.y == [3.0, 4.0]
+        assert all(p.stddev == 0.0 for p in series.points)
+        assert all(p.replicates == 0 for p in series.points)
+        assert all(p.p50 is None for p in series.points)
+        assert loaded.manifest is None
+
+    @pytest.mark.parametrize("name", sorted(
+        p.name for p in RESULTS_DIR.glob("figure_*.json")))
+    def test_archived_results_still_load(self, name):
+        figure = load_figure(RESULTS_DIR / name)
+        assert figure.series, name
+        for series in figure.series:
+            assert len(series.x) == len(series.points) > 0
+
+    def test_unsupported_version_rejected(self):
+        data = _figure().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            figure_from_dict(data)

@@ -107,6 +107,106 @@ class TestTraceCommand:
             main(["trace", "--figure", "nope",
                   "--out", str(tmp_path / "t.jsonl")])
 
+    def test_requests_flag_writes_lifecycle_records(self, tmp_path, capsys):
+        path = tmp_path / "req.jsonl"
+        code = main(["trace", "--requests", "--algorithm", "ipp",
+                     "--ttr", "2", "--settle", "20", "--measure", "60",
+                     "--out", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "request records" in out
+        assert "pull queue wait" in out  # breakdown printed to terminal
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records
+        assert all("issued_at" in r for r in records)
+        misses = [r for r in records if not r["hit"]]
+        assert misses
+        assert all(r["served_kind"] in ("push", "pull") for r in misses)
+
+    def test_requests_flag_on_reference_engine(self, tmp_path):
+        path = tmp_path / "req_ref.jsonl"
+        code = main(["trace", "--requests", "--algorithm", "pure-pull",
+                     "--ttr", "2", "--settle", "20", "--measure", "40",
+                     "--engine", "reference", "--out", str(path)])
+        assert code == 0
+        assert path.read_text().splitlines()
+
+
+class TestReportCommand:
+    def test_requires_exactly_one_input(self, tmp_path, capsys):
+        assert main(["report"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        path = tmp_path / "fig.json"
+        path.write_text("{}")
+        assert main(["report", str(path), "--trace", str(path)]) == 2
+
+    def test_figure_json_with_provenance(self, tmp_path, capsys):
+        from repro.experiments import figure_3a
+        from repro.experiments.base import Profile
+
+        profile = Profile(settle_accesses=20, measure_accesses=40,
+                          replicates=1)
+        figure = figure_3a(profile, ttrs=(2, 5))
+        path = tmp_path / "figure_3a.json"
+        path.write_text(json.dumps(figure.to_dict()))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out
+        assert "response-time quantiles" in out
+        assert "p99" in out
+        assert "provenance:" in out
+        assert "engine" in out
+
+    def test_old_schema_figure_degrades_gracefully(self, capsys):
+        """Acceptance: a pre-provenance archive still reports cleanly."""
+        from pathlib import Path
+
+        archived = (Path(__file__).resolve().parents[2]
+                    / "results" / "figure_3a.json")
+        assert main(["report", str(archived)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out
+        assert "no quantile data" in out
+        assert "no manifest" in out
+
+    def test_request_trace_breakdown(self, tmp_path, capsys):
+        path = tmp_path / "req.jsonl"
+        assert main(["trace", "--requests", "--algorithm", "ipp",
+                     "--ttr", "2", "--settle", "20", "--measure", "60",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(path),
+                     "--think-time", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "request trace:" in out
+        assert "pull queue wait" in out
+        assert "measured miss wait quantiles" in out
+
+    def test_slot_trace_summary(self, tmp_path, capsys):
+        path = tmp_path / "slots.jsonl"
+        assert main(["trace", "--algorithm", "pure-pull", "--ttr", "2",
+                     "--settle", "20", "--measure", "40",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "slot trace:" in out
+        assert "slots by kind:" in out
+        assert "mean queue depth:" in out
+
+    def test_unrecognized_trace_records(self, tmp_path, capsys):
+        path = tmp_path / "weird.jsonl"
+        path.write_text('{"foo": 1}\n')
+        assert main(["report", "--trace", str(path)]) == 2
+        assert "unrecognized trace record" in capsys.readouterr().err
+
+    def test_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", "--trace", str(path)]) == 2
+        assert "empty trace" in capsys.readouterr().out
+
 
 class TestProfileCommand:
     def test_prints_phase_table(self, capsys):

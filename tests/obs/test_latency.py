@@ -1,0 +1,100 @@
+"""Log-bucketed latency histograms and interpolated quantiles."""
+
+import math
+
+import pytest
+
+from repro.obs.latency import LATENCY_BUCKETS, LatencyHistogram, log_buckets
+
+
+class TestLogBuckets:
+    def test_one_two_five_ladder(self):
+        assert log_buckets(1.0, 100.0) == (
+            1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+    def test_respects_bounds(self):
+        bounds = log_buckets(1.0, 1e5)
+        assert bounds[0] == 1.0
+        assert bounds[-1] == 1e5
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_buckets(10.0, 10.0)
+
+    def test_default_buckets_cover_sub_slot_waits(self):
+        assert LATENCY_BUCKETS[0] == 0.5
+        assert LATENCY_BUCKETS[-1] == 1e5
+
+
+class TestLatencyHistogram:
+    def test_empty_quantiles_are_none(self):
+        hist = LatencyHistogram()
+        assert math.isnan(hist.quantile(0.5))
+        assert hist.quantiles() is None
+
+    def test_single_value_collapses_all_quantiles(self):
+        hist = LatencyHistogram()
+        hist.observe(7.0)
+        quantiles = hist.quantiles()
+        assert quantiles == {"p50": 7.0, "p90": 7.0, "p99": 7.0}
+
+    def test_quantiles_clamp_to_observed_range(self):
+        hist = LatencyHistogram()
+        for value in (3.0, 4.0, 4.5):
+            hist.observe(value)
+        assert hist.quantile(0.0) >= 3.0
+        assert hist.quantile(1.0) <= 4.5
+
+    def test_interpolated_median_of_uniform_data(self):
+        hist = LatencyHistogram()
+        for value in range(1, 101):  # uniform on [1, 100]
+            hist.observe(float(value))
+        # Log buckets are coarse; interpolation should still land the
+        # median within its owning bucket's ~2x span of the true value.
+        assert hist.quantile(0.5) == pytest.approx(50.0, rel=0.5)
+        assert hist.quantile(0.9) == pytest.approx(90.0, rel=0.5)
+
+    def test_monotone_in_q(self):
+        hist = LatencyHistogram()
+        for value in (0.2, 1.5, 3.0, 8.0, 40.0, 900.0):
+            hist.observe(value)
+        marks = [hist.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert marks == sorted(marks)
+
+    def test_rejects_out_of_range_q(self):
+        hist = LatencyHistogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_inherits_histogram_protocol(self):
+        hist = LatencyHistogram("x", "help")
+        hist.observe(2.5)
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 1
+
+
+class TestRunResultQuantiles:
+    def test_engine_results_carry_quantiles(self, ipp_config):
+        from repro.core.fast import FastEngine
+
+        result = FastEngine(ipp_config).run()
+        assert result.response_miss.p50 is not None
+        assert result.response_miss.p50 <= result.response_miss.p90
+        assert result.response_miss.p90 <= result.response_miss.p99
+        assert (result.response_miss.min <= result.response_miss.p50
+                <= result.response_miss.max)
+        # All-access quantiles exist too (hits count as zero wait).
+        assert result.response_all.p50 is not None
+
+    def test_tally_snapshot_defaults_stay_none(self):
+        from repro.core.metrics import TallySnapshot
+        from repro.sim.monitor import Tally
+
+        tally = Tally()
+        tally.add(1.0)
+        snapshot = TallySnapshot.of(tally)
+        assert snapshot.p50 is None and snapshot.p99 is None

@@ -1,0 +1,96 @@
+"""Run/sweep provenance manifests."""
+
+import json
+
+import pytest
+
+from repro.core.algorithms import Algorithm
+from repro.experiments.base import Profile
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    config_to_dict,
+    package_version,
+    run_manifest,
+    sweep_manifest,
+)
+from tests.conftest import small_config
+
+
+class TestConfigToDict:
+    def test_flattens_enums(self):
+        config = small_config(Algorithm.IPP)
+        data = config_to_dict(config)
+        assert data["algorithm"] == "ipp"
+        json.dumps(data, allow_nan=False)  # strict JSON end to end
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            config_to_dict({"not": "a dataclass"})
+
+
+class TestRunManifest:
+    def test_contains_provenance_fields(self):
+        config = small_config(Algorithm.PURE_PULL)
+        manifest = run_manifest(config, "fast", elapsed_seconds=1.25)
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["engine"] == "fast"
+        assert manifest["seed"] == config.run.seed
+        assert manifest["package_version"] == package_version()
+        assert manifest["elapsed_seconds"] == 1.25
+        assert manifest["config"]["algorithm"] == "pure-pull"
+        assert "python_version" in manifest
+        assert "numpy_version" in manifest
+        assert manifest["created_utc"].endswith("+00:00")
+        json.dumps(manifest, allow_nan=False)
+
+    def test_elapsed_optional(self):
+        manifest = run_manifest(small_config(), "reference")
+        assert "elapsed_seconds" not in manifest
+        assert manifest["engine"] == "reference"
+
+
+class TestSweepManifest:
+    def test_profile_is_the_config(self):
+        profile = Profile(settle_accesses=10, measure_accesses=20,
+                          replicates=2, base_seed=99)
+        manifest = sweep_manifest(profile)
+        assert manifest["seed"] == 99
+        assert manifest["config"]["measure_accesses"] == 20
+        assert manifest["engine"] == "fast"
+        json.dumps(manifest, allow_nan=False)
+
+
+class TestEngineStamping:
+    def test_fast_engine_stamps_manifest(self, pull_config):
+        from repro.core.fast import FastEngine
+
+        result = FastEngine(pull_config).run()
+        assert result.manifest is not None
+        assert result.manifest["engine"] == "fast"
+        assert result.manifest["seed"] == pull_config.run.seed
+        assert result.manifest["elapsed_seconds"] > 0.0
+        assert result.manifest["config"]["server"]["queue_size"] == \
+            pull_config.server.queue_size
+
+    def test_reference_engine_stamps_manifest(self, pull_config):
+        from repro.core.simulation import ReferenceEngine
+
+        result = ReferenceEngine(pull_config).run()
+        assert result.manifest is not None
+        assert result.manifest["engine"] == "reference"
+
+    def test_manifest_excluded_from_equality(self, pull_config):
+        from dataclasses import replace
+
+        from repro.core.fast import FastEngine
+
+        first = FastEngine(pull_config).run()
+        second = replace(first, manifest={"other": "stamp"})
+        assert first == second
+
+    def test_result_dict_remains_json(self, pull_config):
+        from repro.core.fast import FastEngine
+
+        result = FastEngine(pull_config).run()
+        text = json.dumps(result.to_dict(), allow_nan=False)
+        assert json.loads(text)["manifest"]["engine"] == "fast"
