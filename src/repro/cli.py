@@ -13,7 +13,9 @@ Subcommands:
 - ``profile`` — run the fast engine with phase timers and print the
   per-phase wall-time breakdown,
 - ``program`` — show a broadcast program's layout and analytic delays,
-- ``tune`` — recommend IPP knob settings for a load range.
+- ``tune`` — recommend IPP knob settings for a load range,
+- ``lint`` — domain-aware static analysis (determinism, seed discipline,
+  cross-engine parity; see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -192,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--replicates", type=int, default=1)
     tune.add_argument("--seed", type=int, default=42)
 
+    lint = sub.add_parser(
+        "lint", help="domain static analysis: determinism, seeds, parity")
+    from repro.lint.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -254,8 +262,10 @@ def _cmd_figures(args) -> int:
     if args.trace is not None:
         args.trace.mkdir(parents=True, exist_ok=True)
     for fig_id in ids:
+        # lint: allow[REP001] -- wall-clock elapsed time for user-facing
         started = time.perf_counter()
         figure = ALL_FIGURES[fig_id](profile)
+        # lint: allow[REP001] -- figure-regeneration reporting, not sim time
         elapsed = time.perf_counter() - started
         if figure.manifest is not None:
             figure.manifest["elapsed_seconds"] = elapsed
@@ -447,6 +457,10 @@ def main(argv=None) -> int:
         return _cmd_profile(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "lint":
+        from repro.lint.cli import run as run_lint_cli
+
+        return run_lint_cli(args)
     return _cmd_program(args)
 
 

@@ -18,7 +18,19 @@ __all__ = [
     "RunConfig",
     "SystemConfig",
     "PAPER_SETTINGS",
+    "PARITY_EXEMPT",
 ]
+
+#: Config fields deliberately honoured by a single engine.  Everything
+#: else must be read by BOTH core/simulation.py and core/fast.py —
+#: enforced by lint rule REP004 (see docs/STATIC_ANALYSIS.md).  Keep each
+#: entry justified; stale entries are themselves lint findings.
+PARITY_EXEMPT: frozenset[str] = frozenset({
+    # The paper's aggregate VC is open-loop; the closed-loop variant is a
+    # reference-engine-only ablation (DESIGN.md §4) with no fast-engine
+    # counterpart by design.
+    "run.vc_closed_loop",
+})
 
 
 @dataclass(frozen=True)
@@ -44,7 +56,7 @@ class ClientConfig:
     #: "lix" force one, enabling the cache-policy ablations.
     cache_policy: str = "auto"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.cache_policy not in ("auto", "pix", "p", "lru", "lix"):
             raise ValueError(
                 f"unknown cache_policy {self.cache_policy!r}")
@@ -83,7 +95,7 @@ class ServerConfig:
     #: Pages removed from the push program (Experiment 3's chopping).
     chop: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.db_size < 1:
             raise ValueError("db_size must be positive")
         if len(self.disk_sizes) != len(self.rel_freqs):
@@ -127,7 +139,7 @@ class RunConfig:
     #: the paper's aggregate VC is open-loop, see DESIGN.md §4).
     vc_closed_loop: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.settle_accesses < 0:
             raise ValueError("settle_accesses must be non-negative")
         if self.measure_accesses < 1:
@@ -145,7 +157,7 @@ class SystemConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     run: RunConfig = field(default_factory=RunConfig)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if (self.algorithm is Algorithm.PURE_PUSH
                 and self.server.chop > 0):
             raise ValueError(
@@ -167,7 +179,7 @@ class SystemConfig:
         """ThresPerc in force after the algorithm's override."""
         return self.algorithm.effective_thresh_perc(self.server.thresh_perc)
 
-    def with_(self, **updates) -> "SystemConfig":
+    def with_(self, **updates: object) -> "SystemConfig":
         """Return a copy with nested fields replaced.
 
         Accepts top-level field names plus dotted shorthands expanded by

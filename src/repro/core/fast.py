@@ -108,6 +108,7 @@ class FastEngine:
                         and self.tracer is None
                         and self.profiler is None
                         and self.request_tracer is None)
+        # lint: allow[REP001] -- wall-clock run duration for the manifest
         started = time.perf_counter()
         rtracer = self.request_tracer
         if rtracer is not None:
@@ -127,6 +128,7 @@ class FastEngine:
             if rtracer is not None:
                 self.state.server.queue.detach_observer()
                 self.state.mc.tracer = None
+        # lint: allow[REP001] -- provenance elapsed_seconds, not sim time
         return self._stamp(result, time.perf_counter() - started)
 
     def _stamp(self, result: RunResult, elapsed: float) -> RunResult:
@@ -319,6 +321,7 @@ class FastEngine:
         rtracing = rtracer is not None
         prof = self.profiler
         profiling = prof is not None
+        # lint: allow[REP001] -- profiler phase timer, measures wall time only
         _pc = time.perf_counter
         run_started = _pc() if profiling else 0.0
         _t0 = _now = 0.0

@@ -86,6 +86,7 @@ class ReferenceEngine:
 
     # -- orchestration -------------------------------------------------------------
     def _execute(self, warmup_mode: bool) -> RunResult:
+        # lint: allow[REP001] -- wall-clock run duration for the manifest
         started = time.perf_counter()
         self._warmup_mode = warmup_mode
         if warmup_mode:
@@ -115,6 +116,7 @@ class ReferenceEngine:
             if rtracer is not None:
                 self.state.server.queue.detach_observer()
                 self.state.mc.tracer = None
+        # lint: allow[REP001] -- provenance elapsed_seconds, not sim time
         return self._stamp(self._result(), time.perf_counter() - started)
 
     def _stamp(self, result: RunResult, elapsed: float) -> RunResult:
@@ -212,8 +214,7 @@ class ReferenceEngine:
         if send_pull:
             self.state.server.queue.offer(page)
         arrival = self._arrival_event(page)
-        value = yield arrival
-        return value
+        return (yield arrival)
 
     def _mc_process(self):
         mc = self.state.mc

@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — run the domain lint suite standalone."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin shim
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Baseline ratchet: accepted findings that must never grow.
+
+A baseline file records the fingerprints of known findings (as counts,
+since a fingerprint omits line numbers and may legitimately occur more
+than once).  The engine marks up to the recorded count of matching
+findings as *baselined* — they are reported but do not fail the run —
+while any finding beyond the baseline stays *new* and fails.  Re-running
+with ``--update-baseline`` rewrites the file to the current findings, so
+the baseline only moves when a human decides it should.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint counts loaded from / saved to a JSON baseline file."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: Counter[str] = Counter(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (raises ValueError on a bad schema)."""
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if (not isinstance(data, dict)
+                or data.get("version") != BASELINE_VERSION
+                or not isinstance(data.get("findings"), dict)):
+            raise ValueError(
+                f"{path}: not a v{BASELINE_VERSION} lint baseline")
+        counts = data["findings"]
+        if not all(isinstance(k, str) and isinstance(v, int) and v > 0
+                   for k, v in counts.items()):
+            raise ValueError(f"{path}: malformed baseline fingerprints")
+        return cls(counts)
+
+    @classmethod
+    def of(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted, one fingerprint per entry)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding],
+                                                      list[Finding]]:
+        """Split findings into (new, baselined).
+
+        Findings are consumed against the recorded counts in sorted
+        order, so which occurrences are baselined is deterministic.
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                baselined.append(finding.as_baselined())
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,157 @@
+"""The analysis driver: walk files, run rules, apply pragmas + baseline.
+
+:func:`run_lint` is the single entry point used by the CLI and the test
+suite.  It parses every ``.py`` file under the given paths once, runs the
+selected file rules per module and project rules over the whole set,
+drops findings suppressed by inline allow-pragmas, and splits the rest
+against an optional :class:`~repro.lint.baseline.Baseline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.rules import PRAGMA_RULE_ID, REGISTRY, FileRule, ProjectRule
+from repro.lint.source import Project, SourceFile, load_source
+
+__all__ = ["LintResult", "run_lint", "collect_files"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache",
+                        ".mypy_cache", ".pytest_cache"})
+
+
+@dataclass
+class LintResult:
+    """Everything one analysis run produced."""
+
+    #: Non-baselined findings (these fail the run), sorted.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings matched by the baseline (reported, never failing).
+    baselined: list[Finding] = field(default_factory=list)
+    #: Findings suppressed by inline allow-pragmas.
+    suppressed: int = 0
+    #: Number of files parsed.
+    files_scanned: int = 0
+    #: Rule ids that ran.
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing non-baselined was found."""
+        return not self.findings
+
+    def all_findings(self) -> list[Finding]:
+        """New + baselined findings in one sorted list."""
+        return sorted(self.findings + self.baselined)
+
+    def to_dict(self) -> dict:
+        """The ``--format json`` output schema (version 1)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": self.rules,
+            "counts": {
+                "new": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+            },
+            "findings": [f.to_dict() for f in self.all_findings()],
+        }
+
+
+def collect_files(paths: Sequence[Path]) -> list[tuple[Path, str]]:
+    """(absolute path, root-relative posix path) for every .py under paths.
+
+    Directory arguments are walked recursively; file arguments are taken
+    as-is with their basename as the relative path.  Raises
+    FileNotFoundError for a missing argument (the CLI maps it to a usage
+    error).
+    """
+    collected: list[tuple[Path, str]] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            collected.append((root, root.name))
+        elif root.is_dir():
+            for file_path in sorted(root.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in file_path.parts):
+                    continue
+                rel = file_path.relative_to(root).as_posix()
+                collected.append((file_path, rel))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+    return collected
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> list[str]:
+    if select is None:
+        return sorted(REGISTRY)
+    unknown = sorted(set(select) - set(REGISTRY))
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return sorted(set(select))
+
+
+def run_lint(paths: Sequence[Path],
+             select: Optional[Sequence[str]] = None,
+             baseline: Optional[Baseline] = None) -> LintResult:
+    """Analyze ``paths`` with the selected rules (default: all).
+
+    Raises FileNotFoundError for missing paths and KeyError for unknown
+    rule ids — the CLI converts both into usage errors (exit 2).
+    """
+    rule_ids = _select_rules(select)
+    known = frozenset(REGISTRY) | {PRAGMA_RULE_ID}
+    sources = [load_source(path, rel, known)
+               for path, rel in collect_files(paths)]
+    project = Project(files=sources)
+
+    raw: list[Finding] = []
+    for source in sources:
+        if source.parse_error is not None:
+            raw.append(Finding(
+                path=source.rel, line=0, rule=PRAGMA_RULE_ID,
+                message=f"file does not parse: {source.parse_error}",
+                hint="fix the syntax error; unparseable files are "
+                     "invisible to every other rule"))
+            continue
+        for error in source.pragma_errors:
+            raw.append(Finding(
+                path=source.rel, line=error.line, rule=PRAGMA_RULE_ID,
+                message=error.message,
+                hint="write '# lint: allow[RULE,...] -- rationale' with "
+                     "registered rule ids and a justification"))
+
+    for rule_id in rule_ids:
+        rule = REGISTRY[rule_id]
+        if isinstance(rule, FileRule):
+            for source in sources:
+                if source.tree is not None:
+                    raw.extend(rule.check(source))
+        elif isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(project))
+
+    by_rel = {source.rel: source for source in sources}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        source = by_rel.get(finding.path)
+        if (finding.rule != PRAGMA_RULE_ID and source is not None
+                and source.allows(finding.rule, finding.line)):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort()
+
+    if baseline is not None:
+        new, matched = baseline.apply(kept)
+    else:
+        new, matched = kept, []
+    return LintResult(findings=new, baselined=matched,
+                      suppressed=suppressed, files_scanned=len(sources),
+                      rules=rule_ids)

@@ -1,0 +1,26 @@
+"""Rule modules; importing this package populates the registry.
+
+Rule inventory (ids are stable, documented in docs/STATIC_ANALYSIS.md):
+
+- ``REP001`` wall-clock        — no host clocks/timers or ambient RNG
+- ``REP002`` unseeded-rng      — RNG constructors need explicit seeds
+- ``REP003`` sim-time-float-eq — no ==/!= on simulated-time floats
+- ``REP004`` config-parity     — config fields reach both engines
+- ``REP005`` event-registry    — event names come from obs/events.py
+- ``REP006`` hook-symmetry     — both engines drive the same tracer hooks
+- ``LINT000``                  — reserved: malformed allow-pragmas
+"""
+
+from repro.lint.rules import determinism, events, parity, simtime  # noqa: F401
+from repro.lint.rules.base import (
+    REGISTRY,
+    FileRule,
+    ProjectRule,
+    Rule,
+    register,
+)
+
+__all__ = ["REGISTRY", "Rule", "FileRule", "ProjectRule", "register"]
+
+#: Rule id reserved for pragma-syntax findings emitted by the engine.
+PRAGMA_RULE_ID = "LINT000"

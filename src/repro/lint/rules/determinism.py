@@ -1,0 +1,160 @@
+"""REP001 wall-clock sanitizer and REP002 RNG seed discipline.
+
+The reproduction's headline invariant is bit-reproducibility from an
+explicit seed.  Two classes of call break it silently:
+
+- **wall-clock and host-timer reads** (``time.time``, ``datetime.now``,
+  ``time.perf_counter``, ...) leaking into simulation logic — legitimate
+  uses (provenance timestamps, profiler timers) must carry an inline
+  ``# lint: allow[REP001] -- rationale`` pragma;
+- **ambient randomness**: the global ``random.*`` functions and numpy's
+  legacy ``np.random.*`` module-level API share hidden global state, and
+  ``default_rng()`` / ``SeedSequence()`` without an explicit seed pull OS
+  entropy.  Every generator must be constructed from a seed traceable to
+  :class:`repro.core.config.RunConfig`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileRule, ImportResolver, register
+from repro.lint.source import SourceFile
+
+__all__ = ["WallClockRule", "UnseededRngRule"]
+
+#: Exact canonical callables that read host clocks / timers.
+WALL_CLOCK = {
+    "time.time": "wall clock",
+    "time.time_ns": "wall clock",
+    "time.localtime": "wall clock",
+    "time.gmtime": "wall clock",
+    "time.ctime": "wall clock",
+    "time.asctime": "wall clock",
+    "time.strftime": "wall clock",
+    "time.monotonic": "host timer",
+    "time.monotonic_ns": "host timer",
+    "time.perf_counter": "host timer",
+    "time.perf_counter_ns": "host timer",
+    "time.process_time": "host timer",
+    "time.process_time_ns": "host timer",
+    "time.sleep": "wall-clock dependency",
+    "datetime.datetime.now": "wall clock",
+    "datetime.datetime.utcnow": "wall clock",
+    "datetime.datetime.today": "wall clock",
+    "datetime.date.today": "wall clock",
+}
+
+#: numpy.random names that are part of the Generator-era seeded API.
+_NUMPY_SEEDED_API = frozenset({
+    "default_rng", "SeedSequence", "Generator", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+#: Constructors that must receive an explicit, non-None seed.
+_SEEDED_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "random.Random",
+})
+
+
+def _is_forbidden(canonical: str) -> str | None:
+    """Reason string when ``canonical`` is a determinism hazard."""
+    reason = WALL_CLOCK.get(canonical)
+    if reason is not None:
+        return reason
+    if canonical.startswith("random.") and canonical != "random.Random":
+        return "global random state"
+    if (canonical.startswith("numpy.random.")
+            and canonical.split(".")[2] not in _NUMPY_SEEDED_API):
+        return "legacy numpy global RNG"
+    return None
+
+
+@register
+class WallClockRule(FileRule):
+    """REP001 — no wall clocks, host timers, or ambient RNG state."""
+
+    id = "REP001"
+    name = "wall-clock"
+    summary = ("forbid wall-clock/timer reads and global RNG state "
+               "(time.time, datetime.now, random.*, legacy np.random.*)")
+    hint = ("inject a clock or seeded Generator instead; if this is "
+            "provenance or profiling (not simulation logic), add "
+            "'# lint: allow[REP001] -- <why>'")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        resolver = ImportResolver.of(source.tree)
+        flagged: set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                canonical = resolver.canonical(node.func)
+                if canonical is None:
+                    continue
+                reason = _is_forbidden(canonical)
+                if reason is not None:
+                    flagged.add(id(node.func))
+                    yield self.finding(
+                        source, node.lineno,
+                        f"call to {canonical} ({reason})")
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                # Bare references (aliasing, defaults, callbacks): e.g.
+                # `_pc = time.perf_counter` smuggles the timer past a
+                # call-only check.
+                if id(node) in flagged:
+                    continue
+                canonical = resolver.canonical(node)
+                if canonical is None:
+                    continue
+                reason = _is_forbidden(canonical)
+                if reason is not None:
+                    # Skip inner parts of an already-flagged chain.
+                    for inner in ast.walk(node):
+                        flagged.add(id(inner))
+                    yield self.finding(
+                        source, node.lineno,
+                        f"reference to {canonical} ({reason})")
+
+
+@register
+class UnseededRngRule(FileRule):
+    """REP002 — RNG constructors must receive an explicit seed."""
+
+    id = "REP002"
+    name = "unseeded-rng"
+    summary = ("default_rng() / SeedSequence() / random.Random() must be "
+               "given an explicit, non-None seed traceable to config")
+    hint = ("pass a seed derived from RunConfig.seed (e.g. spawn from the "
+            "run's SeedSequence as repro.core.build does)")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        resolver = ImportResolver.of(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = resolver.canonical(node.func)
+            if canonical not in _SEEDED_CONSTRUCTORS:
+                continue
+            short = canonical.rsplit(".", 1)[-1]
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    source, node.lineno,
+                    f"{short}() constructed without a seed "
+                    f"(falls back to OS entropy)")
+                continue
+            seed = node.args[0] if node.args else None
+            if seed is None:
+                for kw in node.keywords:
+                    if kw.arg in ("seed", "entropy", "x"):
+                        seed = kw.value
+                        break
+            if (isinstance(seed, ast.Constant) and seed.value is None):
+                yield self.finding(
+                    source, node.lineno,
+                    f"{short}(None) is an unseeded construction "
+                    f"(None selects OS entropy)")

@@ -1,0 +1,79 @@
+"""REP003 — no exact float equality on simulated-time values.
+
+Simulated time is a float (broadcast units); both engines advance it by
+fractional think times and slot boundaries.  ``==`` / ``!=`` between two
+time-derived values works only until an optimization reorders a sum, so
+the rule flags equality comparisons where either operand *names* a
+simulated-time quantity: ``now``, ``env.now``-style attributes, or
+``*_time`` / ``*_at`` / ``*_now`` identifiers.  Ordering comparisons
+(``<``, ``>=``) and identity tests (``is None``) stay legal — engines
+compare boundaries by order, never by exact coincidence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileRule, register
+from repro.lint.source import SourceFile
+
+__all__ = ["SimTimeEqualityRule"]
+
+#: Identifier spellings that denote a simulated-time value.
+_TIME_NAMES = frozenset({"now", "now_boundary", "completion", "deadline"})
+_TIME_SUFFIXES = ("_time", "_at", "_now")
+
+
+def _names_time(name: str) -> bool:
+    return name in _TIME_NAMES or name.endswith(_TIME_SUFFIXES)
+
+
+def _is_time_operand(node: ast.AST) -> str | None:
+    """The time-ish identifier inside ``node``, if any."""
+    if isinstance(node, ast.Name) and _names_time(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _names_time(node.attr):
+        return node.attr
+    if isinstance(node, ast.BinOp):
+        return (_is_time_operand(node.left)
+                or _is_time_operand(node.right))
+    if isinstance(node, (ast.UnaryOp,)):
+        return _is_time_operand(node.operand)
+    return None
+
+
+@register
+class SimTimeEqualityRule(FileRule):
+    """REP003 — flag ``==`` / ``!=`` over simulated-time operands."""
+
+    id = "REP003"
+    name = "sim-time-float-eq"
+    summary = ("forbid ==/!= comparisons whose operands derive from "
+               "simulated time (now, env.now, *_time, *_at names)")
+    hint = ("compare slot boundaries by order (<, >=) or use an integer "
+            "slot index; exact float coincidence is representation-"
+            "dependent")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `x == None` is an identity bug, not a float-time bug;
+                # leave it to ruff (E711).
+                if any(isinstance(side, ast.Constant) and side.value is None
+                       for side in (left, right)):
+                    continue
+                witness = _is_time_operand(left) or _is_time_operand(right)
+                if witness is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        source, node.lineno,
+                        f"float equality '{symbol}' on simulated-time "
+                        f"operand '{witness}'")

@@ -1,0 +1,63 @@
+"""The shared event-name registry: every cross-engine vocabulary in one place.
+
+Trace records, metrics, and run results are stringly-typed at their
+serialization boundary (JSONL traces, figure JSON, metric names), and the
+reference and fast engines must speak *exactly* the same vocabulary or
+`repro.obs.compare` and downstream consumers silently diverge.  This module
+is the single source of truth for those vocabularies:
+
+- :data:`SLOT_KINDS` — what a broadcast slot carried; mirrors
+  :class:`repro.server.broadcast_server.SlotKind` (the enum cannot import
+  this module without an obs -> core -> server cycle, so the two are kept
+  in sync by the ``REP005`` lint rule instead — see
+  ``docs/STATIC_ANALYSIS.md``),
+- :data:`OFFER_OUTCOMES` — what the server queue did with a request;
+  mirrors :class:`repro.server.queue.Offer` (same REP005 discipline),
+- :data:`SERVED_KINDS` — what satisfied a measured access
+  (:attr:`repro.obs.requests.RequestRecord.served_kind`),
+- :data:`ENGINE_NAMES` — engine identifiers stamped into run manifests,
+- :data:`TRACER_HOOKS` — the observer methods an engine may invoke on a
+  slot / request tracer; the ``REP006`` rule requires both engines to
+  drive the identical hook set.
+
+Adding a new event name means adding it here first; the lint suite fails
+any engine or sink that invents a name on the side.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SLOT_KINDS",
+    "OFFER_OUTCOMES",
+    "SERVED_KINDS",
+    "ENGINE_NAMES",
+    "TRACER_HOOKS",
+]
+
+#: What a broadcast slot carried (SlotKind enum values, in enum order).
+SLOT_KINDS: tuple[str, ...] = ("push", "pull", "padding", "idle")
+
+#: What the bounded server queue did with an offered request (Offer values).
+OFFER_OUTCOMES: tuple[str, ...] = ("enqueued", "duplicate", "dropped")
+
+#: What satisfied a measured-client access (RequestRecord.served_kind).
+SERVED_KINDS: tuple[str, ...] = ("cache", "push", "pull")
+
+#: Engine identifiers as stamped into run-provenance manifests.
+ENGINE_NAMES: tuple[str, ...] = ("fast", "reference")
+
+#: Observer methods an engine may call on the slot / request tracers.
+#: Both engines must reference the same subset (lint rule REP006).
+TRACER_HOOKS: tuple[str, ...] = (
+    "on_access",
+    "on_hit",
+    "on_miss",
+    "on_miss_predict",
+    "on_pull",
+    "on_queue_offer",
+    "on_air",
+    "on_served",
+    "on_slot",
+    "on_mc_request",
+    "on_vc_request",
+)

@@ -34,6 +34,7 @@ class PhaseTimer:
     cannot afford the context-manager overhead.
     """
 
+    # lint: allow[REP001] -- the profiler IS the timer; clock is injectable
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self.seconds: dict[str, float] = {}

@@ -27,6 +27,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Optional
 
+from repro.obs.events import SLOT_KINDS
+
 __all__ = [
     "SlotRecord",
     "TraceSink",
@@ -189,7 +191,7 @@ class SlotTracer:
             self._slot_counters = {
                 kind: metrics.counter(f"trace_slots_{kind}_total",
                                       f"slots that carried {kind}")
-                for kind in ("push", "pull", "padding", "idle")}
+                for kind in SLOT_KINDS}
             self._dropped = metrics.counter(
                 "trace_requests_dropped_total",
                 "requests dropped at the snapshot instants")

@@ -22,7 +22,11 @@ __all__ = ["BroadcastServer", "SlotKind"]
 
 
 class SlotKind(enum.Enum):
-    """What a broadcast slot carried."""
+    """What a broadcast slot carried.
+
+    Values mirror ``repro.obs.events.SLOT_KINDS`` (importing obs here
+    would cycle through core; lint rule REP005 enforces the sync).
+    """
 
     PUSH = "push"      #: a page from the periodic program
     PULL = "pull"      #: a queued backchannel request

@@ -16,7 +16,11 @@ __all__ = ["BoundedRequestQueue", "Offer"]
 
 
 class Offer(enum.Enum):
-    """Outcome of presenting a request to the server queue."""
+    """Outcome of presenting a request to the server queue.
+
+    Values mirror ``repro.obs.events.OFFER_OUTCOMES`` (lint rule REP005
+    enforces the sync without a runtime import).
+    """
 
     #: The request was queued; a pull slot will eventually broadcast it.
     ENQUEUED = "enqueued"

@@ -1,0 +1,13 @@
+"""Fixture: aliased imports and bare references must still be caught."""
+
+import time
+from time import time as clock
+
+
+def aliased_call():
+    return clock()
+
+
+def smuggled_reference():
+    pc = time.perf_counter
+    return pc()

@@ -1,0 +1,15 @@
+"""Fixture: global random state, stdlib and legacy numpy (REP001)."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    random.seed(42)
+    return random.random()
+
+
+def noise(n):
+    np.random.seed(0)
+    return np.random.rand(n)

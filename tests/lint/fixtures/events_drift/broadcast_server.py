@@ -1,0 +1,10 @@
+"""Server enum that drifted: 'pad' is not the registry spelling."""
+
+import enum
+
+
+class SlotKind(str, enum.Enum):
+    PUSH = "push"
+    PULL = "pull"
+    PADDING = "pad"
+    IDLE = "idle"

@@ -1,0 +1,5 @@
+"""Registry for the drift tree — identical to the healthy one."""
+
+SLOT_KINDS = ("push", "pull", "padding", "idle")
+OFFER_OUTCOMES = ("enqueued", "duplicate", "dropped")
+SERVED_KINDS = ("cache", "push", "pull")

@@ -1,0 +1,7 @@
+"""Reference engine: invented served_kind literal, never drives on_air."""
+
+
+def emit(tracer, sink, record):
+    tracer.on_slot(record)
+    sink.record(served_kind="cash")
+    tracer.on_served(record)

@@ -1,0 +1,10 @@
+"""Server enum in sync with the registry."""
+
+import enum
+
+
+class SlotKind(str, enum.Enum):
+    PUSH = "push"
+    PULL = "pull"
+    PADDING = "padding"
+    IDLE = "idle"

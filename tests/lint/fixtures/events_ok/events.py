@@ -1,0 +1,5 @@
+"""Mini registry mirroring repro/obs/events.py (REP005/REP006 clean)."""
+
+SLOT_KINDS = ("push", "pull", "padding", "idle")
+OFFER_OUTCOMES = ("enqueued", "duplicate", "dropped")
+SERVED_KINDS = ("cache", "push", "pull")

@@ -1,0 +1,7 @@
+"""Fast engine: registry-member literals, hooks symmetric with reference."""
+
+
+def emit(tracer, record):
+    if record.kind == "push":
+        tracer.on_slot(record)
+    tracer.on_served(record)

@@ -1,0 +1,9 @@
+"""Queue enum in sync with the registry."""
+
+import enum
+
+
+class Offer(str, enum.Enum):
+    ENQUEUED = "enqueued"
+    DUPLICATE = "duplicate"
+    DROPPED = "dropped"

@@ -1,0 +1,7 @@
+"""Reference engine: same literals and hook set as the fast engine."""
+
+
+def emit(tracer, record):
+    if record.kind != "idle":
+        tracer.on_slot(record)
+    tracer.on_served(record)

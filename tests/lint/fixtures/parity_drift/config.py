@@ -1,0 +1,20 @@
+"""Mini config tree with every flavour of parity drift (REP004)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    seed: int = 7
+    warmup: float = 0.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    run: RunConfig = field(default_factory=RunConfig)
+    slot_ms: float = 1.0
+    fast_knob: float = 0.5
+    ghost: int = 0
+
+
+PARITY_EXEMPT = frozenset({"slot_ms", "run.bogus"})

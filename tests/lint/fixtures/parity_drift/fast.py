@@ -1,0 +1,5 @@
+"""Fast engine: reads seed, slot_ms, fast_knob — never warmup or ghost."""
+
+
+def run(config):
+    return config.run.seed * config.slot_ms + config.fast_knob

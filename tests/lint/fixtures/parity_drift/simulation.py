@@ -1,0 +1,5 @@
+"""Reference engine: reads seed, warmup, slot_ms — never fast_knob or ghost."""
+
+
+def run(config):
+    return config.run.seed + config.run.warmup + config.slot_ms

@@ -1,0 +1,5 @@
+"""Shared construction path — reads here count for both engines."""
+
+
+def build(config):
+    return {"horizon": config.run.horizon}

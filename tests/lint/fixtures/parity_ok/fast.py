@@ -1,0 +1,5 @@
+"""Slot-driven engine stand-in."""
+
+
+def run(config):
+    return config.run.seed * config.slot_ms

@@ -1,0 +1,7 @@
+"""Event-driven reference engine stand-in."""
+
+
+def run(config):
+    if config.reference_trace:
+        pass
+    return config.run.seed + config.slot_ms

@@ -1,0 +1,13 @@
+"""Fixture: legitimate wall-clock use carrying valid allow-pragmas."""
+
+import time
+
+
+def provenance():
+    # lint: allow[REP001] -- manifest timestamp, never enters sim state
+    return time.time()
+
+
+def elapsed():
+    started = time.perf_counter()  # lint: allow[REP001] -- profiler timer
+    return started

@@ -1,0 +1,13 @@
+"""Fixture: malformed pragmas are LINT000 findings and suppress nothing."""
+
+import time
+
+
+def no_rationale():
+    # lint: allow[REP001]
+    return time.time()
+
+
+def unknown_rule():
+    # lint: allow[REP999] -- not a registered rule id
+    return time.time()

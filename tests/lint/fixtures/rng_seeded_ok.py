@@ -1,0 +1,12 @@
+"""Fixture: properly seeded RNG constructions (clean for REP001/REP002)."""
+
+import numpy as np
+
+
+def build_rngs(seed):
+    seed_seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seed_seq.spawn(3)]
+
+
+def derived(config):
+    return np.random.default_rng(np.random.SeedSequence((config.seed, 7)))

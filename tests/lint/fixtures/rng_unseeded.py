@@ -1,0 +1,22 @@
+"""Fixture: RNG constructions without an explicit seed (REP002)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def entropy_rng():
+    return np.random.default_rng()
+
+
+def entropy_sequence():
+    return np.random.SeedSequence()
+
+
+def explicit_none():
+    return default_rng(None)
+
+
+def stdlib_instance():
+    return random.Random()

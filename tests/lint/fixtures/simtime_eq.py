@@ -1,0 +1,17 @@
+"""Fixture: float equality on simulated-time operands (REP003)."""
+
+
+def boundary(now, slot_start):
+    return now == slot_start
+
+
+def drifted(a, b):
+    return a.end_time != b.end_time
+
+
+def through_arithmetic(completion, think, deadline):
+    return completion + think == deadline
+
+
+def record_times(record):
+    return record.issued_at == record.served_at

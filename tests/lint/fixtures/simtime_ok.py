@@ -1,0 +1,17 @@
+"""Fixture: legal time comparisons — ordering, identity, integer slots."""
+
+
+def before(now, t):
+    return now < t + 1.0
+
+
+def unset(end_time):
+    return end_time is None
+
+
+def integer_slot(slot):
+    return slot == 5
+
+
+def defaulted(end_time):
+    return end_time == None  # noqa: E711 - identity bug is ruff's beat

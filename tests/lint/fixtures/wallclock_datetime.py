@@ -1,0 +1,16 @@
+"""Fixture: datetime wall-clock reads through both import styles (REP001)."""
+
+import datetime
+from datetime import date, datetime as dt
+
+
+def created():
+    return datetime.datetime.now()
+
+
+def legacy():
+    return dt.utcnow()
+
+
+def day():
+    return date.today()

@@ -1,0 +1,13 @@
+"""Fixture: direct stdlib clock/timer calls (REP001)."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def measure():
+    started = time.perf_counter()
+    time.sleep(0.1)
+    return time.perf_counter() - started

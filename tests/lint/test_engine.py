@@ -1,0 +1,187 @@
+"""Engine-level behaviour: pragmas, selection, baseline, parse errors."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+
+
+def write(tmp_path, code, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            t = time.time()  # lint: allow[REP001] -- test scaffolding
+            """)
+        result = run_lint([path])
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_standalone_pragma_covers_next_line(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            # lint: allow[REP001] -- test scaffolding
+            t = time.time()
+            """)
+        assert run_lint([path]).ok
+
+    def test_standalone_pragma_does_not_cover_two_lines_down(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            # lint: allow[REP001] -- test scaffolding
+            x = 1
+            t = time.time()
+            """)
+        assert not run_lint([path]).ok
+
+    def test_allow_file_covers_whole_module(self, tmp_path):
+        path = write(tmp_path, """\
+            # lint: allow-file[REP001] -- wall-clock fixture by design
+            import time
+
+            a = time.time()
+            b = time.perf_counter()
+            """)
+        result = run_lint([path])
+        assert result.ok
+        assert result.suppressed == 2
+
+    def test_pragma_only_suppresses_named_rule(self, tmp_path):
+        path = write(tmp_path, """\
+            import numpy as np
+
+            # lint: allow[REP001] -- wrong rule id for this line
+            rng = np.random.default_rng()
+            """)
+        result = run_lint([path])
+        assert [f.rule for f in result.findings] == ["REP002"]
+
+    def test_pragma_in_docstring_is_inert(self, tmp_path):
+        path = write(tmp_path, '''\
+            """Docs quoting a pragma: # lint: allow[REP001] -- example."""
+            import time
+
+            t = time.time()
+            ''')
+        result = run_lint([path])
+        assert [f.rule for f in result.findings] == ["REP001"]
+
+    def test_lint000_not_suppressible(self, tmp_path):
+        path = write(tmp_path, """\
+            # lint: allow-file[LINT000] -- trying to silence the meta rule
+            # lint: allow[REP001]
+            x = 1
+            """)
+        result = run_lint([path])
+        assert "LINT000" in {f.rule for f in result.findings}
+
+
+class TestEngine:
+    def test_parse_error_is_lint000(self, tmp_path):
+        path = write(tmp_path, "def broken(:\n")
+        result = run_lint([path])
+        assert [f.rule for f in result.findings] == ["LINT000"]
+        assert "does not parse" in result.findings[0].message
+
+    def test_select_limits_rules(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+            import numpy as np
+
+            t = time.time()
+            rng = np.random.default_rng()
+            """)
+        result = run_lint([path], select=["REP002"])
+        assert [f.rule for f in result.findings] == ["REP002"]
+        assert result.rules == ["REP002"]
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        path = write(tmp_path, "x = 1\n")
+        with pytest.raises(KeyError):
+            run_lint([path], select=["REP999"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint([tmp_path / "nope"])
+
+    def test_pycache_is_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("import time\nt = time.time()\n")
+        write(tmp_path, "x = 1\n")
+        result = run_lint([tmp_path])
+        assert result.ok
+        assert result.files_scanned == 1
+
+
+class TestBaseline:
+    def test_ratchet_matches_then_fails_new(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            a = time.time()
+            """)
+        baseline = Baseline.of(run_lint([path]).findings)
+
+        # Unchanged file: everything baselined, run is ok.
+        result = run_lint([path], baseline=baseline)
+        assert result.ok
+        assert len(result.baselined) == 1
+
+        # A new violation is NOT absorbed by the old baseline.
+        write(tmp_path, """\
+            import time
+
+            a = time.time()
+            b = time.perf_counter()
+            """)
+        result = run_lint([path], baseline=baseline)
+        assert not result.ok
+        assert [f.rule for f in result.findings] == ["REP001"]
+        assert "perf_counter" in result.findings[0].message
+
+    def test_fingerprint_survives_line_motion(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            a = time.time()
+            """)
+        baseline = Baseline.of(run_lint([path]).findings)
+        # Push the violation down two lines; fingerprint is line-free.
+        write(tmp_path, """\
+            import time
+
+            x = 1
+            y = 2
+            a = time.time()
+            """)
+        assert run_lint([path], baseline=baseline).ok
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            a = time.time()
+            """)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.of(run_lint([path]).findings).save(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        assert run_lint([path], baseline=loaded).ok
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "findings": {}}')
+        with pytest.raises(ValueError):
+            Baseline.load(bad)
