@@ -5,11 +5,15 @@ Subcommands:
 - ``figures`` — regenerate one or all of the paper's figures and print
   the series as tables (optionally saving JSON and slot traces),
 - ``simulate`` — run a single configured system and dump its metrics,
-- ``trace`` — run one system with a tracer attached and write a JSONL
-  trace (one record per broadcast slot, or per measured-client access
-  with ``--requests``),
+- ``trace`` — run one system with a tracer attached and write a trace
+  (one record per broadcast slot, or per measured-client access with
+  ``--requests``) as JSONL or columnar ``.npy`` (``--format``, or
+  auto-detected from the output suffix),
 - ``report`` — summarize a saved figure JSON (tables, quantiles,
-  provenance) or a JSONL trace (wait breakdown) in the terminal,
+  provenance) or a JSONL / columnar trace (wait breakdown) in the
+  terminal,
+- ``convert`` — convert a trace between JSONL and columnar ``.npy``
+  losslessly, in either direction,
 - ``profile`` — run the fast engine with phase timers and print the
   per-phase wall-time breakdown,
 - ``program`` — show a broadcast program's layout and analytic delays,
@@ -122,8 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write one JSON file per figure into DIR")
     figures.add_argument(
         "--trace", type=Path, default=None, metavar="DIR",
-        help="also write a JSONL slot trace of each figure's "
-             "representative point into DIR")
+        help="also write a slot trace of each figure's representative "
+             "point into DIR")
+    figures.add_argument(
+        "--trace-format", choices=("jsonl", "columnar"), default="jsonl",
+        help="on-disk format for --trace captures (columnar = "
+             "memory-mappable .npy; default: jsonl)")
     figures.add_argument(
         "--drop-rates", action="store_true",
         help="print server drop-rate tables as well")
@@ -146,11 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="which engine to trace (default: fast)")
     trace.add_argument(
         "--out", type=Path, default=Path("trace.jsonl"), metavar="FILE",
-        help="JSONL output path (default: trace.jsonl)")
+        help="output path (default: trace.jsonl)")
     trace.add_argument(
         "--requests", action="store_true",
         help="trace measured-client request lifecycles (one record per "
              "access) instead of broadcast slots")
+    trace.add_argument(
+        "--format", choices=("auto", "jsonl", "columnar"), default="auto",
+        help="trace encoding: jsonl (text), columnar (memory-mappable "
+             ".npy), or auto by --out suffix (default)")
 
     report = sub.add_parser(
         "report", help="summarize a saved figure JSON or JSONL trace")
@@ -159,11 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="a results/figure_*.json file to render")
     report.add_argument(
         "--trace", type=Path, default=None, metavar="FILE",
-        help="summarize a JSONL trace (slot or request records) instead")
+        help="summarize a JSONL or columnar .npy trace (slot or request "
+             "records) instead")
     report.add_argument(
         "--think-time", type=float, default=None, metavar="UNITS",
         help="think time per access, to fill the think row of a request-"
              "trace wait breakdown")
+
+    convert = sub.add_parser(
+        "convert", help="convert a trace between JSONL and columnar .npy")
+    convert.add_argument(
+        "src", type=Path, metavar="SRC",
+        help="source trace (.jsonl or .npy)")
+    convert.add_argument(
+        "dst", type=Path, metavar="DST",
+        help="destination trace (the other format; direction is chosen "
+             "from the suffixes)")
 
     profile_cmd = sub.add_parser(
         "profile", help="time the fast engine's hot-loop phases")
@@ -203,44 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _write_trace(config: SystemConfig, path: Path,
-                 engine: str = "fast") -> int:
-    """Trace ``config`` into a JSONL file; returns the record count."""
-    from repro.core.fast import FastEngine
-    from repro.core.simulation import ReferenceEngine
-    from repro.obs.trace import JsonlSink, SlotTracer
-
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with JsonlSink(path) as sink:
-        tracer = SlotTracer(sink)
-        if engine == "reference":
-            ReferenceEngine(config, tracer=tracer).run()
-        else:
-            FastEngine(config, tracer=tracer).run()
-        return sink.emitted
-
-
 def _write_request_trace(config: SystemConfig, path: Path,
-                         engine: str = "fast") -> int:
-    """Request-trace ``config`` into a JSONL file; prints the breakdown."""
-    from repro.core.fast import FastEngine
-    from repro.core.simulation import ReferenceEngine
-    from repro.obs.requests import RequestTracer
-    from repro.obs.trace import JsonlSink
+                         engine: str = "fast", fmt: str = "auto") -> int:
+    """Request-trace ``config`` into a file; prints the breakdown."""
+    from repro.experiments.tracing import write_request_trace
 
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with JsonlSink(path) as sink:
-        tracer = RequestTracer(sink)
-        if engine == "reference":
-            ReferenceEngine(config, request_tracer=tracer).run()
-        else:
-            FastEngine(config, request_tracer=tracer).run()
-        print(tracer.breakdown().render())
-        quantiles = tracer.wait_quantiles()
-        if quantiles:
-            print("measured miss wait quantiles: "
-                  + "  ".join(f"{k}={v:.1f}" for k, v in quantiles.items()))
-        return sink.emitted
+    tracer = write_request_trace(config, path, engine=engine, fmt=fmt)
+    print(tracer.breakdown().render())
+    quantiles = tracer.wait_quantiles()
+    if quantiles:
+        print("measured miss wait quantiles: "
+              + "  ".join(f"{k}={v:.1f}" for k, v in quantiles.items()))
+    return tracer.records_emitted
 
 
 def _cmd_figures(args) -> int:
@@ -278,12 +275,10 @@ def _cmd_figures(args) -> int:
             path = args.json / f"figure_{fig_id}.json"
             path.write_text(json.dumps(figure.to_dict(), indent=2))
         if args.trace is not None:
-            from repro.experiments.points import representative_config
+            from repro.experiments.tracing import trace_representative
 
-            config = profile.apply(representative_config(fig_id),
-                                   profile.base_seed)
-            trace_path = args.trace / f"trace_{fig_id}.jsonl"
-            emitted = _write_trace(config, trace_path)
+            trace_path, emitted = trace_representative(
+                fig_id, profile, args.trace, fmt=args.trace_format)
             print(f"[trace {fig_id}: {emitted} slot records -> "
                   f"{trace_path}]\n")
     return 0
@@ -298,16 +293,93 @@ def _cmd_simulate(args) -> int:
 def _cmd_trace(args) -> int:
     config = _system_config(args)
     if args.requests:
-        emitted = _write_request_trace(config, args.out, engine=args.engine)
+        emitted = _write_request_trace(config, args.out, engine=args.engine,
+                                       fmt=args.format)
         print(f"{emitted} request records -> {args.out}")
     else:
-        emitted = _write_trace(config, args.out, engine=args.engine)
+        from repro.experiments.tracing import write_slot_trace
+
+        emitted = write_slot_trace(config, args.out, engine=args.engine,
+                                   fmt=args.format)
         print(f"{emitted} slot records -> {args.out}")
     return 0
 
 
+def _cmd_convert(args) -> int:
+    from repro.obs.columnar import columnar_to_jsonl, jsonl_to_columnar
+
+    if (args.src.suffix == ".npy") == (args.dst.suffix == ".npy"):
+        print("convert: exactly one of SRC/DST must be a columnar .npy "
+              "trace (the other is treated as JSONL)", file=sys.stderr)
+        return 2
+    try:
+        if args.src.suffix == ".npy":
+            args.dst.parent.mkdir(parents=True, exist_ok=True)
+            count = columnar_to_jsonl(args.src, args.dst)
+        else:
+            args.dst.parent.mkdir(parents=True, exist_ok=True)
+            count = jsonl_to_columnar(args.src, args.dst)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"convert: {exc}", file=sys.stderr)
+        return 2
+    print(f"{count} records: {args.src} -> {args.dst}")
+    return 0
+
+
+def _report_columnar_trace(path: Path, think_time) -> int:
+    """Summarize a columnar ``.npy`` trace without materializing records.
+
+    Prints the same lines as the JSONL path — breakdowns via the
+    vectorized column reductions, quantiles as exact order statistics
+    (same rank convention as the sorted-list path, so a converted trace
+    reports identically).
+    """
+    import numpy as np
+
+    from repro.obs.columnar import (
+        breakdown_of_array,
+        exact_quantiles,
+        load_columnar,
+        measured_miss_waits,
+        slot_summary,
+        table_of,
+    )
+
+    try:
+        array = load_columnar(path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if array.shape[0] == 0:
+        print(f"{path}: empty trace")
+        return 2
+    if table_of(array) == "request":
+        measured = int(np.count_nonzero(array["measured"]))
+        print(f"request trace: {array.shape[0]} records "
+              f"({measured} measured) from {path}")
+        print()
+        print(breakdown_of_array(array, think_time=think_time).render())
+        waits = measured_miss_waits(array)
+        if waits.size:
+            marks = exact_quantiles(waits)
+            assert marks is not None
+            print(f"measured miss wait quantiles: p50={marks['p50']:.1f}  "
+                  f"p90={marks['p90']:.1f}  p99={marks['p99']:.1f}  "
+                  f"max={waits.max():.1f}")
+        return 0
+    summary = slot_summary(array)
+    print(f"slot trace: {summary['slots']} slots from {path}")
+    print("  slots by kind: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(summary["kinds"].items())))
+    print(f"  mean queue depth: {summary['mean_queue_depth']:.2f}")
+    print(f"  requests dropped: {summary['dropped']}")
+    return 0
+
+
 def _report_trace(path: Path, think_time) -> int:
-    """Summarize a JSONL trace file (slot or request records)."""
+    """Summarize a trace file (slot or request records, either format)."""
+    if path.suffix == ".npy":
+        return _report_columnar_trace(path, think_time)
     first = None
     with path.open() as handle:
         for line in handle:
@@ -453,6 +525,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "convert":
+        return _cmd_convert(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "tune":

@@ -35,6 +35,13 @@ from repro.experiments.experiment2 import figure_6
 from repro.experiments.experiment3 import figure_7, figure_8
 from repro.experiments.points import REPRESENTATIVE_POINTS, representative_config
 from repro.experiments.reporting import render_figure
+from repro.experiments.tracing import (
+    TRACE_FORMATS,
+    open_trace_sink,
+    trace_representative,
+    write_request_trace,
+    write_slot_trace,
+)
 
 ALL_FIGURES = {
     "3a": figure_3a,
@@ -72,4 +79,9 @@ __all__ = [
     "ALL_FIGURES",
     "REPRESENTATIVE_POINTS",
     "representative_config",
+    "TRACE_FORMATS",
+    "open_trace_sink",
+    "trace_representative",
+    "write_request_trace",
+    "write_slot_trace",
 ]

@@ -5,6 +5,10 @@ opens the black box:
 
 - :mod:`repro.obs.trace` — per-slot structured records through pluggable
   sinks (null / in-memory ring / JSONL file),
+- :mod:`repro.obs.columnar` — the columnar trace backend: numpy
+  structured-array sink with memory-mapped ``.npy`` persistence,
+  lossless JSONL converters, and vectorized breakdown / exact-quantile
+  analytics for million-record traces,
 - :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with a
   shared no-op mode for zero-cost disabled instrumentation,
 - :mod:`repro.obs.profile` — phase timers for the fast engine's hot loop
@@ -22,6 +26,21 @@ Everything is opt-in: engines built without a tracer/profiler run the
 exact pre-observability hot path.
 """
 
+from repro.obs.columnar import (
+    REQUEST_DTYPE,
+    SLOT_DTYPE,
+    ColumnarSink,
+    array_to_records,
+    breakdown_of_array,
+    columnar_to_jsonl,
+    exact_quantiles,
+    jsonl_to_columnar,
+    load_columnar,
+    measured_miss_waits,
+    records_to_array,
+    slot_summary,
+    table_of,
+)
 from repro.obs.compare import TraceDiff, capture_trace, compare_engines, diff_traces
 from repro.obs.latency import LATENCY_BUCKETS, LatencyHistogram, log_buckets
 from repro.obs.manifest import (
@@ -64,6 +83,19 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "read_jsonl",
+    "ColumnarSink",
+    "SLOT_DTYPE",
+    "REQUEST_DTYPE",
+    "load_columnar",
+    "table_of",
+    "records_to_array",
+    "array_to_records",
+    "jsonl_to_columnar",
+    "columnar_to_jsonl",
+    "breakdown_of_array",
+    "measured_miss_waits",
+    "exact_quantiles",
+    "slot_summary",
     "Counter",
     "Gauge",
     "Histogram",

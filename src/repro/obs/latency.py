@@ -25,23 +25,50 @@ from repro.obs.metrics import Histogram
 __all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "log_buckets"]
 
 
+#: Relative slack for decade-ladder bound comparisons: a rung computed a
+#: few ulps off a round endpoint still belongs to the ladder.
+_REL_TOL = 1e-9
+
+
 def log_buckets(low: float = 1.0, high: float = 1e5) -> tuple[float, ...]:
     """1-2-5 decade ladder of bucket upper bounds covering [low, high].
 
     The 1-2-5 pattern keeps roughly three buckets per decade (a ~2.2x
     relative resolution) while every bound stays a round number, which
     matters for the terminal tables the ``report`` command prints.
+
+    Each rung is recomputed from its decade exponent rather than a
+    running ``decade *= 10.0`` product (whose rounding error compounds
+    across decades, yielding rungs like ``4.9999999999999996e-06``);
+    negative decades divide by the exactly-representable ``10.0 ** -e``
+    so sub-unit rungs are the correctly-rounded doubles of their decimal
+    values.  Endpoint membership uses a relative tolerance with
+    off-by-ulps rungs snapped onto ``low`` / ``high``, so the ladder
+    never silently loses its boundary rungs to float drift.
     """
     if low <= 0 or high <= low:
         raise ValueError("need 0 < low < high")
+
+    def rung(mantissa: float, exponent: int) -> float:
+        if exponent >= 0:
+            return mantissa * 10.0 ** exponent
+        return mantissa / 10.0 ** -exponent
+
     bounds: list[float] = []
-    decade = 10.0 ** math.floor(math.log10(low))
-    while decade <= high:
+    exponent = math.floor(math.log10(low))
+    while True:
+        decade = rung(1.0, exponent)
+        if decade > high * (1.0 + _REL_TOL):
+            break
         for mantissa in (1.0, 2.0, 5.0):
-            bound = mantissa * decade
-            if low <= bound <= high:
+            bound = rung(mantissa, exponent)
+            if high < bound <= high * (1.0 + _REL_TOL):
+                bound = high
+            elif low * (1.0 - _REL_TOL) <= bound < low:
+                bound = low
+            if low <= bound <= high and (not bounds or bound > bounds[-1]):
                 bounds.append(bound)
-        decade *= 10.0
+        exponent += 1
     return tuple(bounds)
 
 
@@ -79,7 +106,6 @@ class LatencyHistogram(Histogram):
         cumulative = 0
         for index, count in enumerate(self.counts):
             if count == 0:
-                cumulative += count
                 continue
             if cumulative + count >= rank:
                 lower = self.bounds[index - 1] if index > 0 else tally.min

@@ -131,23 +131,32 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile from the bucket histogram.
 
-        Returns the upper bound of the bucket the quantile falls in (+inf
-        maps to the observed max), NaN when empty.
+        Returns the upper bound of the non-empty bucket the quantile
+        falls in (+inf maps to the observed max), NaN when empty.  The
+        0- and 1-quantiles are exact: they return the observed min and
+        max rather than a bucket bound — ``q=0`` would otherwise be
+        satisfied by the very first bucket even when its count is 0.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
-        total = self._tally.count
-        if total == 0:
+        tally = self._tally
+        if tally.count == 0:
             return math.nan
-        rank = q * total
+        if q == 0.0:
+            return tally.min
+        if q == 1.0:
+            return tally.max
+        rank = q * tally.count
         cumulative = 0
         for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
             cumulative += count
             if cumulative >= rank:
                 if index == len(self.bounds):
-                    return self._tally.max
+                    return tally.max
                 return self.bounds[index]
-        return self._tally.max
+        return tally.max
 
     def snapshot(self) -> dict:
         tally = self._tally

@@ -35,6 +35,7 @@ from repro.obs.latency import LatencyHistogram
 from repro.obs.trace import TraceSink
 
 __all__ = [
+    "OPTIONAL_REQUEST_FIELDS",
     "RequestRecord",
     "RequestTracer",
     "WaitBreakdown",
@@ -90,9 +91,31 @@ class RequestRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RequestRecord":
-        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
-        fields = {name: data[name] for name in cls.__slots__}
+        """Inverse of :meth:`to_dict`, tolerant across trace versions.
+
+        Unknown keys are ignored (a newer writer may add fields) and
+        missing Optional fields default to ``None`` (an older writer may
+        lack them); a missing *required* field raises a ValueError that
+        names it, instead of a bare KeyError.
+        """
+        fields = {}
+        for name in cls.__slots__:
+            if name in data:
+                fields[name] = data[name]
+            elif name in OPTIONAL_REQUEST_FIELDS:
+                fields[name] = None
+            else:
+                raise ValueError(
+                    f"request trace record missing required field {name!r}")
         return cls(**fields)
+
+
+#: RequestRecord fields typed Optional: absent keys in a serialized
+#: record default to None instead of failing the load (these are also
+#: the columnar backend's null-mask columns, in this order).
+OPTIONAL_REQUEST_FIELDS: tuple[str, ...] = (
+    "pull_outcome", "predicted_push_wait", "on_air_at", "queue_wait",
+    "service")
 
 
 def read_requests_jsonl(path: str | Path) -> list[RequestRecord]:

@@ -30,6 +30,7 @@ from typing import IO, Optional
 from repro.obs.events import SLOT_KINDS
 
 __all__ = [
+    "OPTIONAL_SLOT_FIELDS",
     "SlotRecord",
     "TraceSink",
     "NullSink",
@@ -38,6 +39,11 @@ __all__ = [
     "SlotTracer",
     "read_jsonl",
 ]
+
+#: SlotRecord fields typed Optional: absent keys in a serialized record
+#: default to None instead of failing the load (these are also the
+#: columnar backend's null-mask columns, in this order).
+OPTIONAL_SLOT_FIELDS: tuple[str, ...] = ("page", "mc_waiting")
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,8 +84,22 @@ class SlotRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SlotRecord":
-        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
-        fields = {name: data[name] for name in cls.__slots__}
+        """Inverse of :meth:`to_dict`, tolerant across trace versions.
+
+        Unknown keys are ignored (a newer writer may add fields) and
+        missing Optional fields default to ``None`` (an older writer may
+        lack them); a missing *required* field raises a ValueError that
+        names it, instead of a bare KeyError.
+        """
+        fields = {}
+        for name in cls.__slots__:
+            if name in data:
+                fields[name] = data[name]
+            elif name in OPTIONAL_SLOT_FIELDS:
+                fields[name] = None
+            else:
+                raise ValueError(
+                    f"slot trace record missing required field {name!r}")
         return cls(**fields)
 
 

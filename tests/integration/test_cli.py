@@ -132,6 +132,69 @@ class TestTraceCommand:
         assert code == 0
         assert path.read_text().splitlines()
 
+    def test_columnar_format_writes_npy(self, tmp_path, capsys):
+        from repro.obs.columnar import load_columnar, table_of
+
+        path = tmp_path / "slots.npy"
+        code = main(["trace", "--algorithm", "pure-pull", "--ttr", "2",
+                     "--settle", "20", "--measure", "40",
+                     "--format", "columnar", "--out", str(path)])
+        assert code == 0
+        assert "slot records" in capsys.readouterr().out
+        array = load_columnar(path)
+        assert table_of(array) == "slot"
+        assert array["slot"].tolist() == list(range(array.shape[0]))
+
+    def test_auto_format_follows_npy_suffix(self, tmp_path):
+        from repro.obs.columnar import load_columnar, table_of
+
+        path = tmp_path / "req.npy"
+        code = main(["trace", "--requests", "--algorithm", "ipp",
+                     "--ttr", "2", "--settle", "20", "--measure", "60",
+                     "--out", str(path)])
+        assert code == 0
+        assert table_of(load_columnar(path)) == "request"
+
+
+class TestConvertCommand:
+    def _request_trace(self, tmp_path, name="req.jsonl"):
+        path = tmp_path / name
+        assert main(["trace", "--requests", "--algorithm", "ipp",
+                     "--ttr", "2", "--settle", "20", "--measure", "60",
+                     "--out", str(path)]) == 0
+        return path
+
+    def test_roundtrip_is_byte_identical(self, tmp_path, capsys):
+        src = self._request_trace(tmp_path)
+        npy = tmp_path / "req.npy"
+        back = tmp_path / "back.jsonl"
+        capsys.readouterr()
+        assert main(["convert", str(src), str(npy)]) == 0
+        assert main(["convert", str(npy), str(back)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert back.read_bytes() == src.read_bytes()
+
+    def test_rejects_ambiguous_directions(self, tmp_path, capsys):
+        src = tmp_path / "a.jsonl"
+        src.write_text("{}\n")
+        assert main(["convert", str(src), str(tmp_path / "b.jsonl")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["convert", str(tmp_path / "a.npy"),
+                     str(tmp_path / "b.npy")]) == 2
+
+    def test_missing_source_reports_cleanly(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "nope.jsonl"),
+                     str(tmp_path / "out.npy")]) == 2
+        assert "convert:" in capsys.readouterr().err
+
+    def test_empty_source_reports_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["convert", str(empty),
+                     str(tmp_path / "out.npy")]) == 2
+        assert "empty trace" in capsys.readouterr().err
+
 
 class TestReportCommand:
     def test_requires_exactly_one_input(self, tmp_path, capsys):
@@ -194,6 +257,51 @@ class TestReportCommand:
         assert "slot trace:" in out
         assert "slots by kind:" in out
         assert "mean queue depth:" in out
+
+    @staticmethod
+    def _report_lines(capsys, path, *extra):
+        assert main(["report", "--trace", str(path), *extra]) == 0
+        # Drop the header line that names the trace file; everything
+        # else must match between the two encodings of the same trace.
+        return [line for line in capsys.readouterr().out.splitlines()
+                if str(path) not in line]
+
+    def test_request_report_identical_across_formats(self, tmp_path,
+                                                     capsys):
+        """Acceptance: a JSONL trace and its columnar conversion report
+        identical breakdown and quantile tables."""
+        jsonl = tmp_path / "req.jsonl"
+        assert main(["trace", "--requests", "--algorithm", "ipp",
+                     "--ttr", "2", "--settle", "20", "--measure", "60",
+                     "--out", str(jsonl)]) == 0
+        npy = tmp_path / "req.npy"
+        assert main(["convert", str(jsonl), str(npy)]) == 0
+        capsys.readouterr()
+        from_jsonl = self._report_lines(capsys, jsonl,
+                                        "--think-time", "20")
+        from_npy = self._report_lines(capsys, npy, "--think-time", "20")
+        assert from_npy == from_jsonl
+        assert any("measured miss wait quantiles" in line
+                   for line in from_npy)
+
+    def test_slot_report_identical_across_formats(self, tmp_path, capsys):
+        jsonl = tmp_path / "slots.jsonl"
+        assert main(["trace", "--algorithm", "pure-pull", "--ttr", "2",
+                     "--settle", "20", "--measure", "40",
+                     "--out", str(jsonl)]) == 0
+        npy = tmp_path / "slots.npy"
+        assert main(["convert", str(jsonl), str(npy)]) == 0
+        capsys.readouterr()
+        assert (self._report_lines(capsys, npy)
+                == self._report_lines(capsys, jsonl))
+
+    def test_empty_columnar_trace(self, tmp_path, capsys):
+        from repro.obs.columnar import ColumnarSink
+
+        path = tmp_path / "empty.npy"
+        ColumnarSink(path, table="request").close()
+        assert main(["report", "--trace", str(path)]) == 2
+        assert "empty trace" in capsys.readouterr().out
 
     def test_unrecognized_trace_records(self, tmp_path, capsys):
         path = tmp_path / "weird.jsonl"

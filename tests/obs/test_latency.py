@@ -3,6 +3,7 @@
 import math
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.obs.latency import LATENCY_BUCKETS, LatencyHistogram, log_buckets
 
@@ -11,6 +12,32 @@ class TestLogBuckets:
     def test_one_two_five_ladder(self):
         assert log_buckets(1.0, 100.0) == (
             1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+    def test_sub_unit_decades_stay_round(self):
+        # Regression: the old running `decade *= 10.0` product drifted
+        # (5e-06 came out as 4.9999999999999996e-06) and the final rung
+        # could miss `high` entirely.  Recomputing each decade as
+        # 10.0 ** exponent keeps every rung exact.
+        assert log_buckets(1e-6, 1e-5) == (1e-6, 2e-6, 5e-6, 1e-5)
+        assert log_buckets(1e-3, 1.0) == (
+            1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1.0)
+
+    @given(exponent=st.integers(-8, 5),
+           low_mantissa=st.sampled_from([1.0, 2.0, 5.0]),
+           high_mantissa=st.sampled_from([1.0, 2.0, 5.0]),
+           span=st.integers(1, 10))
+    def test_round_endpoints_survive(self, exponent, low_mantissa,
+                                     high_mantissa, span):
+        # Endpoints as users write them: round decimal literals.
+        low = float(f"{low_mantissa:g}e{exponent}")
+        high = float(f"{high_mantissa:g}e{exponent + span}")
+        bounds = log_buckets(low, high)
+        assert bounds[0] == low
+        assert bounds[-1] == high
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+        assert all(low <= b <= high for b in bounds)
+        # ~3 rungs per decade: the ladder never degenerates or explodes.
+        assert span <= len(bounds) <= 3 * (span + 1) + 1
 
     def test_respects_bounds(self):
         bounds = log_buckets(1.0, 1e5)
@@ -63,6 +90,33 @@ class TestLatencyHistogram:
             hist.observe(value)
         marks = [hist.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
         assert marks == sorted(marks)
+
+    def test_extreme_quantiles_hit_observed_range(self):
+        hist = LatencyHistogram()
+        for value in (3.0, 4.0, 4.5):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 3.0
+        assert hist.quantile(1.0) == 4.5
+
+    def test_rank_on_bucket_edge_interpolates_to_bound(self):
+        hist = LatencyHistogram(buckets=(10.0, 20.0))
+        hist.observe(5.0)
+        hist.observe(15.0)
+        # rank = 1.0 falls exactly on the first bucket's cumulative
+        # count; full interpolation inside that bucket reaches its
+        # upper bound.
+        assert hist.quantile(0.5) == 10.0
+
+    def test_empty_buckets_do_not_shift_quantiles(self):
+        # Regression companion to the metrics fix: empty buckets between
+        # observations must contribute nothing (the old loop carried a
+        # dead `cumulative += count` for them).
+        hist = LatencyHistogram(buckets=(1.0, 10.0, 100.0, 1000.0))
+        hist.observe(0.5)
+        hist.observe(500.0)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 500.0
+        assert 0.5 <= hist.quantile(0.5) <= 500.0
 
     def test_rejects_out_of_range_q(self):
         hist = LatencyHistogram()

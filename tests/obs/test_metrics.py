@@ -69,6 +69,38 @@ class TestHistogram:
         with pytest.raises(ValueError):
             hist.quantile(1.5)
 
+    def test_zero_quantile_skips_empty_first_bucket(self):
+        # Regression: q=0 has rank 0, and an empty first bucket used to
+        # satisfy "cumulative >= rank" immediately, reporting bounds[0]
+        # (10.0) even though nothing was ever observed there.
+        hist = Histogram("lat", buckets=(10, 20, 30))
+        hist.observe(15.0)
+        assert hist.quantile(0.0) == 15.0  # observed min, not 10.0
+        assert hist.quantile(1.0) == 15.0
+
+    def test_extreme_quantiles_are_exact_observations(self):
+        hist = Histogram("lat", buckets=(10, 20, 30))
+        for value in (12.0, 14.0, 25.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 12.0
+        assert hist.quantile(1.0) == 25.0
+
+    def test_quantile_rank_on_bucket_edge(self):
+        hist = Histogram("lat", buckets=(10, 20))
+        hist.observe(5.0)
+        hist.observe(15.0)
+        # rank = 0.5 * 2 = 1.0 lands exactly on the first bucket's
+        # cumulative count: the bucket that *reaches* the rank owns it.
+        assert hist.quantile(0.5) == 10.0
+
+    def test_quantile_single_observation(self):
+        hist = Histogram("lat", buckets=(10, 20))
+        hist.observe(15.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) in (15.0, 20.0)
+        assert hist.quantile(0.0) == 15.0
+        assert hist.quantile(1.0) == 15.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Histogram("h", buckets=())

@@ -47,6 +47,30 @@ class TestRequestRecord:
         text = json.dumps(_record().to_dict(), allow_nan=False)
         assert json.loads(text)["page"] == 3
 
+    def test_from_dict_defaults_missing_optional_fields_to_none(self):
+        # Regression: the docstring promised unknown keys are ignored,
+        # but a record from an older writer (no queue_wait/service yet)
+        # used to crash with a bare KeyError instead of defaulting.
+        data = _record().to_dict()
+        del data["queue_wait"]
+        del data["service"]
+        record = RequestRecord.from_dict(data)
+        assert record.queue_wait is None and record.service is None
+
+    def test_from_dict_extra_and_missing_keys_together(self):
+        data = _record().to_dict()
+        data["added_by_future_version"] = 42
+        del data["on_air_at"]
+        record = RequestRecord.from_dict(data)
+        assert record.on_air_at is None
+        assert record == _record(on_air_at=None)
+
+    def test_from_dict_names_the_missing_required_field(self):
+        data = _record().to_dict()
+        del data["issued_at"]
+        with pytest.raises(ValueError, match="issued_at"):
+            RequestRecord.from_dict(data)
+
 
 class TestTracerStateMachine:
     def test_cache_hit_record(self):

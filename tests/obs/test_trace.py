@@ -39,6 +39,17 @@ class TestSlotRecord:
         data["extra_future_field"] = "ignored"
         assert SlotRecord.from_dict(data) == record()
 
+    def test_from_dict_defaults_missing_optional_fields_to_none(self):
+        data = record(mc_waiting=4).to_dict()
+        del data["mc_waiting"]
+        assert SlotRecord.from_dict(data).mc_waiting is None
+
+    def test_from_dict_names_the_missing_required_field(self):
+        data = record().to_dict()
+        del data["queue_depth"]
+        with pytest.raises(ValueError, match="queue_depth"):
+            SlotRecord.from_dict(data)
+
     def test_is_frozen(self):
         with pytest.raises(AttributeError):
             record().slot = 5
