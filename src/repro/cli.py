@@ -12,6 +12,10 @@ Subcommands:
 - ``report`` — summarize a saved figure JSON (tables, quantiles,
   provenance) or a JSONL / columnar trace (wait breakdown) in the
   terminal,
+- ``compare`` — diff two saved figure JSONs (same figure, different
+  code versions) and flag series drift beyond replicate noise
+  (Welch's t-test per point, tolerance fallback; exit 0 match /
+  1 drift / 2 structural, see docs/COMPARE.md),
 - ``convert`` — convert a trace between JSONL and columnar ``.npy``
   losslessly, in either direction,
 - ``profile`` — run the fast engine with phase timers and print the
@@ -178,6 +182,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="think time per access, to fill the think row of a request-"
              "trace wait breakdown")
 
+    from repro.experiments.compare import DEFAULT_ALPHA, DEFAULT_TOLERANCE
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two saved figure JSONs for drift beyond replicate noise")
+    compare.add_argument("a", type=Path, metavar="A_JSON",
+                         help="reference figure JSON (left side)")
+    compare.add_argument("b", type=Path, metavar="B_JSON",
+                         help="candidate figure JSON (right side)")
+    compare.add_argument(
+        "--alpha", type=float, default=DEFAULT_ALPHA,
+        help="two-sided significance for the per-point Welch's t-test "
+             f"on means (default: {DEFAULT_ALPHA})")
+    compare.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="combined absolute/relative tolerance used when replicate "
+             "noise is unavailable (v1 archives, single replicates, zero "
+             "stddev) and for drop rates / quantiles "
+             f"(default: {DEFAULT_TOLERANCE})")
+    compare.add_argument(
+        "--series", default=None, metavar="LABELS",
+        help="comma-separated series labels to compare (default: all)")
+    compare.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="report rendering (default: table)")
+
     convert = sub.add_parser(
         "convert", help="convert a trace between JSONL and columnar .npy")
     convert.add_argument(
@@ -303,6 +333,27 @@ def _cmd_trace(args) -> int:
                                    fmt=args.format)
         print(f"{emitted} slot records -> {args.out}")
     return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.compare import compare_files
+    from repro.experiments.reporting import render_compare
+
+    series = None
+    if args.series is not None:
+        series = [label.strip() for label in args.series.split(",")
+                  if label.strip()]
+    try:
+        comparison = compare_files(args.a, args.b, alpha=args.alpha,
+                                   tolerance=args.tolerance, series=series)
+    except (OSError, ValueError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(render_compare(comparison))
+    return comparison.exit_code
 
 
 def _cmd_convert(args) -> int:
@@ -525,6 +576,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "convert":
         return _cmd_convert(args)
     if args.command == "profile":

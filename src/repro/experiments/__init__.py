@@ -25,6 +25,11 @@ from repro.experiments.base import (
     run_replicated,
     run_sweep,
 )
+from repro.experiments.compare import (
+    FigureComparison,
+    compare_figures,
+    compare_files,
+)
 from repro.experiments.experiment1 import (
     figure_3a,
     figure_3b,
@@ -68,6 +73,9 @@ __all__ = [
     "load_figure",
     "run_replicated",
     "run_sweep",
+    "FigureComparison",
+    "compare_figures",
+    "compare_files",
     "figure_3a",
     "figure_3b",
     "figure_4",

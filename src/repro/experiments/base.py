@@ -104,8 +104,26 @@ class PointStats:
     @classmethod
     def of(cls, results: Sequence[RunResult],
            metric: Callable[[RunResult], float]) -> "PointStats":
-        """Aggregate ``results`` under ``metric``."""
+        """Aggregate ``results`` under ``metric``.
+
+        Raises :class:`ValueError` on an empty sequence (a sweep point
+        with zero replicates has no statistics to aggregate).
+        """
+        if not results:
+            raise ValueError(
+                "PointStats.of: empty results sequence (a point needs at "
+                "least one replicate)")
         values = [metric(r) for r in results]
+
+        def stdev(marks: Sequence[float]) -> float:
+            if len(marks) < 2:
+                return 0.0
+            # statistics.stdev on NaN inputs raises (an AttributeError,
+            # even) on some Python versions; propagate NaN instead so the
+            # sweep-level guard can name the failing field.
+            if any(math.isnan(mark) for mark in marks):
+                return math.nan
+            return statistics.stdev(marks)
 
         def mean_quantile(name: str) -> Optional[float]:
             marks = [getattr(r.response_miss, name) for r in results]
@@ -115,7 +133,7 @@ class PointStats:
 
         return cls(
             mean=statistics.fmean(values),
-            stddev=(statistics.stdev(values) if len(values) > 1 else 0.0),
+            stddev=stdev(values),
             replicates=len(values),
             drop_rate=statistics.fmean(r.drop_rate for r in results),
             p50=mean_quantile("p50"),
@@ -193,6 +211,14 @@ class FigureResult:
         }
 
 
+def _required(data: dict[str, Any], key: str, context: str) -> Any:
+    """Fetch a mandatory figure-JSON key or raise a naming ValueError."""
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(f"{context}: missing field {key!r}") from None
+
+
 def figure_from_dict(data: dict[str, Any]) -> FigureResult:
     """Rebuild a :class:`FigureResult` from its :meth:`~FigureResult.to_dict`.
 
@@ -200,32 +226,54 @@ def figure_from_dict(data: dict[str, Any]) -> FigureResult:
     ``schema_version`` key, no stddev/replicates/quantiles/manifest) that
     pre-provenance archives under ``results/`` use.  Loaded points carry
     no raw :class:`~repro.core.metrics.RunResult` objects.
+
+    Truncated or malformed input never surfaces as a bare
+    ``IndexError``/``KeyError``: every series array is checked against
+    the length of its ``x`` grid and a :class:`ValueError` naming the
+    series and the offending field is raised instead (the ``compare``
+    harness relies on this to classify bad files as load errors).
     """
     version = data.get("schema_version", 1)
-    if not 1 <= version <= FIGURE_SCHEMA_VERSION:
+    if not isinstance(version, int) or not 1 <= version <= FIGURE_SCHEMA_VERSION:
         raise ValueError(f"unsupported figure schema_version {version!r}")
     series = []
-    for s in data["series"]:
-        count = len(s["x"])
+    for position, s in enumerate(_required(data, "series", "figure JSON")):
+        label = s.get("label")
+        if not isinstance(label, str):
+            raise ValueError(f"figure series #{position}: missing or "
+                             f"non-string field 'label'")
+        context = f"figure series {label!r}"
+        x = _required(s, "x", context)
+        count = len(x)
+        y = _required(s, "y", context)
+        drop_rate = _required(s, "drop_rate", context)
         stddev = s.get("stddev", [0.0] * count)
         replicates = s.get("replicates", [0] * count)
         quantiles = {name: s.get(name, [None] * count)
                      for name in ("p50", "p90", "p99")}
+        arrays: dict[str, Sequence[Any]] = {
+            "y": y, "drop_rate": drop_rate, "stddev": stddev,
+            "replicates": replicates, **quantiles,
+        }
+        for name, values in arrays.items():
+            if len(values) != count:
+                raise ValueError(
+                    f"{context}: field {name!r} has {len(values)} values, "
+                    f"expected {count} (the length of 'x')")
         points = [
-            PointStats(mean=s["y"][i], stddev=stddev[i],
+            PointStats(mean=y[i], stddev=stddev[i],
                        replicates=replicates[i],
-                       drop_rate=s["drop_rate"][i],
+                       drop_rate=drop_rate[i],
                        p50=quantiles["p50"][i], p90=quantiles["p90"][i],
                        p99=quantiles["p99"][i])
             for i in range(count)
         ]
-        series.append(FigureSeries(label=s["label"], x=list(s["x"]),
-                                   points=points))
+        series.append(FigureSeries(label=label, x=list(x), points=points))
     return FigureResult(
-        figure_id=data["figure"],
-        title=data["title"],
-        x_label=data["x_label"],
-        y_label=data["y_label"],
+        figure_id=_required(data, "figure", "figure JSON"),
+        title=_required(data, "title", "figure JSON"),
+        x_label=_required(data, "x_label", "figure JSON"),
+        y_label=_required(data, "y_label", "figure JSON"),
         series=series,
         notes=list(data.get("notes", [])),
         manifest=data.get("manifest"),
@@ -257,6 +305,21 @@ def run_sweep(configs: Sequence[SystemConfig], warmup: bool = False,
         return list(pool.map(_execute, tasks))
 
 
+def _checked(stats: PointStats, config: SystemConfig) -> PointStats:
+    """Reject sweep points whose aggregates went NaN.
+
+    A NaN mean, stddev, *or* drop rate silently poisons every downstream
+    consumer (saved figures, charts, the compare harness), so all three
+    are inspected and the failing fields are named.
+    """
+    bad = [name for name in ("mean", "stddev", "drop_rate")
+           if math.isnan(getattr(stats, name))]
+    if bad:
+        raise RuntimeError(
+            f"sweep point produced NaN {'/'.join(bad)}: {config}")
+    return stats
+
+
 def run_replicated(config: SystemConfig, profile: Profile,
                    warmup: bool = False,
                    metric: Callable[[RunResult], float] | None = None,
@@ -267,10 +330,7 @@ def run_replicated(config: SystemConfig, profile: Profile,
     configs = [profile.apply(config, profile.base_seed + r)
                for r in range(profile.replicates)]
     results = run_sweep(configs, warmup=warmup, workers=profile.workers)
-    stats = PointStats.of(results, metric)
-    if any(math.isnan(v) for v in (stats.mean,)):
-        raise RuntimeError(f"sweep point produced NaN: {config}")
-    return stats
+    return _checked(PointStats.of(results, metric), config)
 
 
 def sweep_series(label: str, configs: Sequence[SystemConfig],
@@ -290,7 +350,7 @@ def sweep_series(label: str, configs: Sequence[SystemConfig],
                     for r in range(profile.replicates))
     results = run_sweep(flat, warmup=warmup, workers=profile.workers)
     points = []
-    for i in range(len(configs)):
+    for i, config in enumerate(configs):
         chunk = results[i * profile.replicates:(i + 1) * profile.replicates]
-        points.append(PointStats.of(chunk, metric))
+        points.append(_checked(PointStats.of(chunk, metric), config))
     return FigureSeries(label=label, x=list(xs), points=points)

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.experiments.base import FigureResult
+from repro.experiments.base import FigureResult, PointStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.experiments.compare import FigureComparison
 
 __all__ = [
     "format_table",
+    "render_compare",
     "render_figure",
     "render_ascii_chart",
     "render_manifest",
@@ -42,31 +46,38 @@ def format_table(headers: Sequence[str],
 
 
 def render_figure(figure: FigureResult, show_drop_rates: bool = False) -> str:
-    """Render a figure as '<x> | <series...>' rows, paper-style."""
-    xs = figure.series[0].x if figure.series else []
+    """Render a figure as '<x> | <series...>' rows, paper-style.
+
+    Series are aligned by x *value*, not by position: the union of all
+    series' x grids forms the rows, and a series with no point at some x
+    shows a dash.  (Positional indexing printed means against the wrong
+    x whenever grids differed.)  A note flags mismatched grids.
+    """
+    by_x = [dict(zip(s.x, s.points)) for s in figure.series]
+    xs = sorted({x for s in figure.series for x in s.x})
     headers = [figure.x_label] + [s.label for s in figure.series]
-    rows = []
-    for i, x in enumerate(xs):
-        row: list[object] = [x]
-        for series in figure.series:
-            row.append(series.points[i].mean
-                       if i < len(series.points) else math.nan)
-        rows.append(row)
+
+    def table(metric: Callable[[PointStats], float]) -> str:
+        rows = []
+        for x in xs:
+            row: list[object] = [x]
+            for lookup in by_x:
+                point = lookup.get(x)
+                row.append(metric(point) if point is not None else math.nan)
+            rows.append(row)
+        return format_table(headers, rows)
+
     parts = [
         f"Figure {figure.figure_id}: {figure.title}",
         f"(y = {figure.y_label})",
-        format_table(headers, rows),
+        table(lambda p: p.mean),
     ]
     if show_drop_rates:
-        drop_rows = []
-        for i, x in enumerate(xs):
-            row = [x]
-            for series in figure.series:
-                row.append(series.points[i].drop_rate * 100.0
-                           if i < len(series.points) else math.nan)
-            drop_rows.append(row)
         parts.append("Server drop rates (%):")
-        parts.append(format_table(headers, drop_rows))
+        parts.append(table(lambda p: p.drop_rate * 100.0))
+    if len({tuple(s.x) for s in figure.series}) > 1:
+        parts.append("note: series x grids differ; '-' marks series with "
+                     "no point at that x")
     if figure.notes:
         parts.extend(f"note: {note}" for note in figure.notes)
     return "\n".join(parts)
@@ -126,6 +137,51 @@ def render_manifest(manifest) -> str:
     return "provenance:\n" + "\n".join(lines)
 
 
+def render_compare(comparison: "FigureComparison") -> str:
+    """Render a cross-run comparison as a drift report.
+
+    Layout: header with the verdict and knobs, structural findings and
+    manifest deltas first (they explain *why* point diffs may be
+    meaningless), then a per-series verdict table and, when there is
+    drift, a per-point drift table.
+    """
+    lines = [
+        f"compare: {comparison.left}  vs  {comparison.right}",
+        f"verdict: {comparison.verdict}  (alpha={comparison.alpha:g}, "
+        f"tolerance={comparison.tolerance:g})",
+    ]
+    if comparison.issues:
+        lines.append("structural:")
+        lines.extend(f"  {issue}" for issue in comparison.issues)
+    if comparison.manifest_diff:
+        lines.append("manifest deltas (informational):")
+        lines.extend(
+            f"  {key}: {left!r} -> {right!r}"
+            for key, (left, right) in comparison.manifest_diff.items())
+    if comparison.series:
+        rows = []
+        for series in comparison.series:
+            notes = "; ".join(series.issues + series.skipped)
+            rows.append((series.label, series.verdict,
+                         series.points_compared, len(series.drifts), notes))
+        lines.append("")
+        lines.append(format_table(
+            ("series", "verdict", "points", "drifting", "notes"), rows))
+    drifts = comparison.drifts
+    if drifts:
+        rows = []
+        for drift in drifts:
+            evidence = (f"p={drift.p_value:.2e}"
+                        if drift.p_value is not None else "tolerance")
+            rows.append((drift.series, drift.x, drift.metric, drift.left,
+                         drift.right, drift.delta, evidence))
+        lines.append("")
+        lines.append(format_table(
+            ("series", "x", "metric", "left", "right", "delta", "evidence"),
+            rows))
+    return "\n".join(lines)
+
+
 #: Plot glyphs cycled across series.
 _MARKS = "*o+x#@%&"
 
@@ -143,8 +199,11 @@ def render_ascii_chart(figure: FigureResult, width: int = 68,
     xs = figure.series[0].x if figure.series else []
     if not xs:
         return "(empty figure)"
-    y_max = max((max(series.y) for series in figure.series if series.y),
-                default=0.0)
+    # NaN points are skipped when plotting, so they must not poison the
+    # axis scale either (max() with a NaN argument is NaN).
+    finite = [value for series in figure.series for value in series.y
+              if not math.isnan(value)]
+    y_max = max(finite, default=0.0)
     if y_max <= 0:
         y_max = 1.0
     grid = [[" "] * width for _ in range(height)]

@@ -24,6 +24,7 @@ from typing import Any, Optional
 __all__ = [
     "MANIFEST_VERSION",
     "config_to_dict",
+    "diff_manifests",
     "package_version",
     "run_manifest",
     "sweep_manifest",
@@ -86,6 +87,47 @@ def _environment() -> dict:
         "created_utc": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
     }
+
+
+#: Manifest keys that differ on every run by construction and therefore
+#: carry no drift signal (matched against the last dotted-path component).
+EPHEMERAL_MANIFEST_KEYS: tuple[str, ...] = ("created_utc", "elapsed_seconds")
+
+
+def _flatten(mapping: dict, prefix: str = "") -> dict[str, Any]:
+    """Nested dicts as a flat ``dotted.key -> leaf value`` map."""
+    flat: dict[str, Any] = {}
+    for key in sorted(mapping):
+        value = mapping[key]
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{path}."))
+        else:
+            flat[path] = value
+    return flat
+
+
+def diff_manifests(left: Optional[dict], right: Optional[dict],
+                   ignore: tuple[str, ...] = EPHEMERAL_MANIFEST_KEYS,
+                   ) -> dict[str, tuple[Any, Any]]:
+    """Dotted-key deltas between two manifests.
+
+    Nested sections (the embedded config) are flattened, so a drifting
+    knob reports as e.g. ``config.server.pull_bw: (0.5, 0.3)``.  Keys
+    present on one side only pair with ``None``; a manifest that is
+    itself ``None`` (v1 archives) is treated as empty.  Keys whose final
+    path component is in ``ignore`` are skipped — by default the
+    per-run timestamp and wall time, which differ on every run.
+    """
+    flat_left = _flatten(left or {})
+    flat_right = _flatten(right or {})
+    deltas: dict[str, tuple[Any, Any]] = {}
+    for key in sorted(set(flat_left) | set(flat_right)):
+        if key.rsplit(".", 1)[-1] in ignore:
+            continue
+        if flat_left.get(key) != flat_right.get(key):
+            deltas[key] = (flat_left.get(key), flat_right.get(key))
+    return deltas
 
 
 def run_manifest(config: Any, engine: str,

@@ -58,6 +58,13 @@ class TestRunSweep:
         assert sequential == pooled
 
 
+class TestPointStats:
+    def test_empty_results_raise_value_error(self):
+        """Regression: StatisticsError leaked from statistics.fmean."""
+        with pytest.raises(ValueError, match="empty results"):
+            PointStats.of([], metric=lambda r: 0.0)
+
+
 class TestRunReplicated:
     def test_aggregates_replicates(self):
         stats = run_replicated(small_config(), TINY)
@@ -76,6 +83,12 @@ class TestRunReplicated:
         seeds = {r.seed for r in stats.results}
         assert seeds == {3, 4}
 
+    def test_nan_metric_rejected_and_named(self):
+        """Regression: the guard only inspected the mean; it now names
+        every NaN aggregate (stddev goes NaN alongside the mean here)."""
+        with pytest.raises(RuntimeError, match="NaN mean"):
+            run_replicated(small_config(), TINY, metric=lambda r: math.nan)
+
 
 class TestSweepSeries:
     def test_series_shape(self):
@@ -90,6 +103,13 @@ class TestSweepSeries:
     def test_misaligned_inputs_rejected(self):
         with pytest.raises(ValueError):
             sweep_series("x", [small_config()], [1, 2], TINY)
+
+    def test_nan_points_no_longer_flow_into_series(self):
+        """Regression: sweep_series had no NaN guard at all — NaN points
+        flowed silently into saved figures."""
+        with pytest.raises(RuntimeError, match="produced NaN"):
+            sweep_series("x", [small_config()], [1], TINY,
+                         metric=lambda r: math.nan)
 
 
 class TestFigureResult:

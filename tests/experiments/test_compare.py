@@ -1,0 +1,336 @@
+"""Cross-run regression harness: statistics, alignment, verdicts."""
+
+import copy
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.base import (
+    FigureResult,
+    FigureSeries,
+    PointStats,
+    figure_from_dict,
+)
+from repro.experiments.compare import (
+    DRIFT,
+    OK,
+    STRUCTURAL,
+    compare_figures,
+    compare_files,
+    student_t_sf,
+    welch_t,
+)
+from repro.experiments.reporting import render_compare
+
+
+def point(mean, stddev=0.0, replicates=1, drop=0.0, **quantiles):
+    return PointStats(mean=mean, stddev=stddev, replicates=replicates,
+                      drop_rate=drop, **quantiles)
+
+
+def figure(series=None, manifest=None, figure_id="t"):
+    if series is None:
+        series = [FigureSeries("IPP", [10.0, 100.0],
+                               [point(5.0, 0.5, 3), point(50.0, 2.0, 3)])]
+    return FigureResult(figure_id=figure_id, title="t", x_label="x",
+                        y_label="y", series=series, manifest=manifest)
+
+
+class TestStudentTSF:
+    def test_matches_critical_values(self):
+        # Classic t-table entries: one-sided tails at df=10.
+        assert student_t_sf(1.812, 10) == pytest.approx(0.05, abs=5e-4)
+        assert student_t_sf(2.228, 10) == pytest.approx(0.025, abs=5e-4)
+        assert student_t_sf(2.764, 10) == pytest.approx(0.01, abs=5e-4)
+
+    def test_symmetry_and_limits(self):
+        assert student_t_sf(0.0, 5) == pytest.approx(0.5)
+        assert student_t_sf(-1.0, 5) + student_t_sf(1.0, 5) \
+            == pytest.approx(1.0)
+        assert student_t_sf(math.inf, 3) == 0.0
+        assert student_t_sf(-math.inf, 3) == 1.0
+
+    def test_normal_limit(self):
+        # df -> inf approaches the standard normal: z=1.96 ~ 0.025.
+        assert student_t_sf(1.959964, 1e7) == pytest.approx(0.025, abs=1e-4)
+
+    def test_monotone_in_t(self):
+        tails = [student_t_sf(t, 4) for t in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+class TestWelchT:
+    def test_known_example(self):
+        result = welch_t(10.0, 1.0, 5, 12.0, 1.5, 5)
+        assert result is not None
+        t, df = result
+        assert t == pytest.approx(-2.481, abs=1e-3)
+        assert df == pytest.approx(6.97, abs=0.05)
+
+    def test_not_applicable_cases(self):
+        assert welch_t(1.0, 0.0, 1, 1.0, 0.0, 1) is None  # single replicate
+        assert welch_t(1.0, 0.0, 3, 2.0, 0.0, 3) is None  # zero variance
+        assert welch_t(1.0, 0.5, 1, 2.0, 0.5, 3) is None
+
+    def test_one_sided_variance_is_fine(self):
+        result = welch_t(1.0, 0.0, 3, 2.0, 0.3, 3)
+        assert result is not None
+        t, df = result
+        assert t < 0
+        assert df == pytest.approx(2.0, abs=1e-9)
+
+
+class TestCompareFigures:
+    def test_identical_is_ok(self):
+        comparison = compare_figures(figure(), figure())
+        assert comparison.verdict == OK
+        assert comparison.exit_code == 0
+        assert comparison.series[0].points_compared == 2
+        assert not comparison.drifts
+
+    def test_mean_drift_beyond_noise(self):
+        left = figure([FigureSeries("IPP", [10.0],
+                                    [point(100.0, 1.0, 5)])])
+        right = figure([FigureSeries("IPP", [10.0],
+                                     [point(130.0, 1.0, 5)])])
+        comparison = compare_figures(left, right)
+        assert comparison.verdict == DRIFT
+        assert comparison.exit_code == 1
+        [drift] = comparison.drifts
+        assert drift.metric == "mean"
+        assert drift.method == "welch"
+        assert drift.p_value < 0.01
+        assert drift.delta == pytest.approx(30.0)
+
+    def test_mean_shift_within_noise_is_ok(self):
+        left = figure([FigureSeries("IPP", [10.0],
+                                    [point(100.0, 10.0, 3)])])
+        right = figure([FigureSeries("IPP", [10.0],
+                                     [point(102.0, 10.0, 3)])])
+        assert compare_figures(left, right).verdict == OK
+
+    def test_zero_stddev_falls_back_to_tolerance(self):
+        left = figure([FigureSeries("IPP", [10.0],
+                                    [point(100.0, 0.0, 3)])])
+        right = figure([FigureSeries("IPP", [10.0],
+                                     [point(100.0 + 1e-9, 0.0, 3)])])
+        assert compare_figures(left, right).verdict == OK
+        drifted = figure([FigureSeries("IPP", [10.0],
+                                       [point(101.0, 0.0, 3)])])
+        comparison = compare_figures(left, drifted)
+        assert comparison.verdict == DRIFT
+        assert comparison.drifts[0].method == "tolerance"
+
+    def test_v1_archive_fallback(self):
+        """v1 archives (no stddev/replicates) compare via tolerance."""
+        v1 = {
+            "figure": "3a", "title": "legacy", "x_label": "x",
+            "y_label": "y",
+            "series": [{"label": "Pull", "x": [1.0, 2.0], "y": [3.0, 4.0],
+                        "drop_rate": [0.0, 0.0]}],
+        }
+        same = compare_figures(figure_from_dict(v1), figure_from_dict(v1))
+        assert same.verdict == OK
+        drifted = copy.deepcopy(v1)
+        drifted["series"][0]["y"][1] = 4.5
+        comparison = compare_figures(figure_from_dict(v1),
+                                     figure_from_dict(drifted))
+        assert comparison.verdict == DRIFT
+        assert all(d.method == "tolerance" for d in comparison.drifts)
+
+    def test_missing_series_is_structural(self):
+        two = figure([
+            FigureSeries("A", [1.0], [point(1.0)]),
+            FigureSeries("B", [1.0], [point(2.0)]),
+        ])
+        one = figure([FigureSeries("A", [1.0], [point(1.0)])])
+        comparison = compare_figures(two, one, left="L", right="R")
+        assert comparison.verdict == STRUCTURAL
+        assert comparison.exit_code == 2
+        assert any("'B' missing from R" in issue
+                   for issue in comparison.issues)
+        # The shared series is still compared.
+        assert comparison.series[0].label == "A"
+
+    def test_misaligned_x_grid_is_structural(self):
+        left = figure([FigureSeries("A", [1.0, 2.0],
+                                    [point(1.0), point(2.0)])])
+        right = figure([FigureSeries("A", [1.0, 3.0],
+                                     [point(1.0), point(2.0)])])
+        comparison = compare_figures(left, right)
+        assert comparison.verdict == STRUCTURAL
+        [series] = comparison.series
+        assert series.verdict == STRUCTURAL
+        assert series.points_compared == 1  # x=1.0 still compared
+        assert any("only in left" in issue for issue in series.issues)
+        assert any("only in right" in issue for issue in series.issues)
+
+    def test_figure_id_mismatch_is_structural(self):
+        comparison = compare_figures(figure(figure_id="3a"),
+                                     figure(figure_id="3b"))
+        assert comparison.verdict == STRUCTURAL
+        assert any("figure id mismatch" in issue
+                   for issue in comparison.issues)
+
+    def test_drop_rate_and_quantile_drift(self):
+        left = figure([FigureSeries("A", [1.0],
+                                    [point(1.0, drop=0.10, p50=5.0,
+                                           p90=9.0, p99=20.0)])])
+        right = figure([FigureSeries("A", [1.0],
+                                     [point(1.0, drop=0.25, p50=5.0,
+                                            p90=14.0, p99=20.0)])])
+        comparison = compare_figures(left, right)
+        assert comparison.verdict == DRIFT
+        assert {d.metric for d in comparison.drifts} == {"drop_rate", "p90"}
+
+    def test_quantiles_on_one_side_only_are_skipped(self):
+        with_q = figure([FigureSeries("A", [1.0],
+                                      [point(1.0, p50=5.0, p90=9.0,
+                                             p99=20.0)])])
+        without = figure([FigureSeries("A", [1.0], [point(1.0)])])
+        comparison = compare_figures(with_q, without)
+        assert comparison.verdict == OK
+        assert comparison.series[0].skipped
+
+    def test_series_filter(self):
+        two = figure([
+            FigureSeries("A", [1.0], [point(1.0)]),
+            FigureSeries("B", [1.0], [point(2.0)]),
+        ])
+        other = figure([
+            FigureSeries("A", [1.0], [point(1.0)]),
+            FigureSeries("B", [1.0], [point(99.0)]),
+        ])
+        comparison = compare_figures(two, other, series=["A"])
+        assert comparison.verdict == OK
+        assert [s.label for s in comparison.series] == ["A"]
+        missing = compare_figures(two, other, series=["nope"])
+        assert missing.verdict == STRUCTURAL
+
+    def test_manifest_deltas_reported_not_fatal(self):
+        left = figure(manifest={"package_version": "1.0.0",
+                                "created_utc": "2026-01-01T00:00:00",
+                                "config": {"base_seed": 42}})
+        right = figure(manifest={"package_version": "1.1.0",
+                                 "created_utc": "2026-02-02T00:00:00",
+                                 "config": {"base_seed": 43}})
+        comparison = compare_figures(left, right)
+        assert comparison.verdict == OK
+        assert comparison.manifest_diff == {
+            "package_version": ("1.0.0", "1.1.0"),
+            "config.base_seed": (42, 43),
+        }
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            compare_figures(figure(), figure(), alpha=0.0)
+        with pytest.raises(ValueError):
+            compare_figures(figure(), figure(), tolerance=-1.0)
+
+    def test_to_dict_is_json_ready(self):
+        left = figure([FigureSeries("A", [1.0], [point(1.0, 1.0, 3)])])
+        right = figure([FigureSeries("A", [1.0], [point(9.0, 1.0, 3)])])
+        comparison = compare_figures(left, right)
+        data = json.loads(json.dumps(comparison.to_dict()))
+        assert data["verdict"] == DRIFT
+        assert data["exit_code"] == 1
+        assert data["series"][0]["drifts"][0]["metric"] == "mean"
+
+
+class TestCompareFiles:
+    def test_self_compare(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(figure().to_dict()))
+        comparison = compare_files(path, path)
+        assert comparison.exit_code == 0
+        assert comparison.left == str(path)
+
+    def test_bad_json_names_the_path(self, tmp_path):
+        good = tmp_path / "a.json"
+        good.write_text(json.dumps(figure().to_dict()))
+        bad = tmp_path / "b.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="b.json"):
+            compare_files(good, bad)
+
+    def test_truncated_series_names_series_and_field(self, tmp_path):
+        good = tmp_path / "a.json"
+        good.write_text(json.dumps(figure().to_dict()))
+        data = figure().to_dict()
+        data["series"][0]["y"] = data["series"][0]["y"][:1]
+        bad = tmp_path / "b.json"
+        bad.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="'IPP'.*'y'"):
+            compare_files(good, bad)
+
+
+class TestRenderCompare:
+    def test_report_sections(self):
+        left = figure([FigureSeries("A", [1.0], [point(1.0, 1.0, 3)])],
+                      manifest={"package_version": "1.0.0"})
+        right = figure([FigureSeries("A", [1.0], [point(9.0, 1.0, 3)])],
+                       manifest={"package_version": "1.1.0"})
+        text = render_compare(compare_figures(left, right))
+        assert "verdict: DRIFT" in text
+        assert "manifest deltas" in text
+        assert "package_version" in text
+        assert "p=" in text  # Welch evidence column
+
+    def test_structural_report(self):
+        two = figure([
+            FigureSeries("A", [1.0], [point(1.0)]),
+            FigureSeries("B", [1.0], [point(2.0)]),
+        ])
+        one = figure([FigureSeries("A", [1.0], [point(1.0)])])
+        text = render_compare(compare_figures(two, one))
+        assert "verdict: STRUCTURAL" in text
+        assert "structural:" in text
+
+
+# Property: a figure survives to_dict -> JSON -> figure_from_dict with no
+# detectable drift against itself (the compare harness's fixed point).
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+positive = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def figures(draw):
+    n_series = draw(st.integers(min_value=1, max_value=3))
+    n_points = draw(st.integers(min_value=1, max_value=4))
+    xs = sorted(draw(st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=n_points, max_size=n_points, unique=True)))
+    with_quantiles = draw(st.booleans())
+    series = []
+    for index in range(n_series):
+        points = []
+        for _ in range(n_points):
+            quantiles = {}
+            if with_quantiles:
+                base = draw(positive)
+                quantiles = {"p50": base, "p90": base * 2, "p99": base * 4}
+            points.append(PointStats(
+                mean=draw(finite), stddev=draw(positive),
+                replicates=draw(st.integers(min_value=0, max_value=5)),
+                drop_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+                **quantiles))
+        series.append(FigureSeries(f"s{index}", list(xs), points))
+    return FigureResult(figure_id="prop", title="t", x_label="x",
+                        y_label="y", series=series)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(figures())
+    def test_round_trip_self_compare_is_clean(self, original):
+        loaded = figure_from_dict(json.loads(json.dumps(original.to_dict())))
+        comparison = compare_figures(original, loaded)
+        assert comparison.verdict == OK
+        assert comparison.exit_code == 0
+        assert not comparison.manifest_diff

@@ -66,6 +66,43 @@ class TestRenderFigure:
         assert "60.0" in with_rates  # 0.6 -> percent
 
 
+class TestRenderFigureAlignment:
+    """Regression: every series used to be indexed against series[0].x,
+    printing means against the wrong x when grids differed."""
+
+    def mismatched(self):
+        return FigureResult(
+            figure_id="x", title="t", x_label="TTR", y_label="y",
+            series=[
+                FigureSeries("A", [10, 250], [point(1.0), point(2.0)]),
+                FigureSeries("B", [10, 500], [point(3.0), point(4.0)]),
+            ])
+
+    def test_rows_are_the_union_of_grids(self):
+        text = render_figure(self.mismatched())
+        rows = text.splitlines()
+        assert any(line.lstrip().startswith("250") for line in rows)
+        assert any(line.lstrip().startswith("500") for line in rows)
+        assert "x grids differ" in text
+
+    def test_values_land_on_their_own_x(self):
+        lines = render_figure(self.mismatched()).splitlines()
+        row_250 = next(line for line in lines
+                       if line.lstrip().startswith("250"))
+        row_500 = next(line for line in lines
+                       if line.lstrip().startswith("500"))
+        # B has no point at 250 and A none at 500: dashes, not means.
+        assert "2.00" in row_250 and "4.00" not in row_250
+        assert "4.00" in row_500 and "2.00" not in row_500
+
+    def test_aligned_grids_stay_unflagged(self):
+        assert "x grids differ" not in render_figure(figure())
+
+    def test_drop_rate_table_aligns_too(self):
+        text = render_figure(self.mismatched(), show_drop_rates=True)
+        assert "drop rates" in text.lower()
+
+
 class TestRenderAsciiChart:
     def test_contains_marks_axis_and_legend(self):
         chart = render_ascii_chart(figure())
@@ -97,3 +134,21 @@ class TestRenderAsciiChart:
     def test_x_ticks_rendered(self):
         chart = render_ascii_chart(figure())
         assert "10" in chart and "250" in chart
+
+    def test_nan_points_do_not_poison_the_y_scale(self):
+        """Regression: max() over NaN values produced a NaN y_max and
+        crashed the row rounding."""
+        poisoned = FigureResult(
+            figure_id="x", title="t", x_label="x", y_label="y",
+            series=[FigureSeries("A", [10, 250],
+                                 [point(math.nan), point(700.0)])])
+        chart = render_ascii_chart(poisoned)
+        assert "y max 700" in chart
+
+    def test_all_nan_series_still_renders(self):
+        poisoned = FigureResult(
+            figure_id="x", title="t", x_label="x", y_label="y",
+            series=[FigureSeries("A", [10, 250],
+                                 [point(math.nan), point(math.nan)])])
+        chart = render_ascii_chart(poisoned)
+        assert "y max 1" in chart  # the 0-max fallback axis

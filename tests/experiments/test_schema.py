@@ -98,3 +98,49 @@ class TestSchemaV1Compat:
         data["schema_version"] = 99
         with pytest.raises(ValueError, match="schema_version"):
             figure_from_dict(data)
+
+
+class TestMalformedInputValidation:
+    """Regression: truncated/malformed series used to surface as bare
+    IndexError/KeyError; every failure now names the series and field."""
+
+    @pytest.mark.parametrize("name", ["y", "drop_rate", "stddev",
+                                      "replicates", "p90"])
+    def test_truncated_array_names_series_and_field(self, name):
+        data = _figure().to_dict()
+        data["series"][0][name] = data["series"][0][name][:1]
+        with pytest.raises(ValueError, match=f"'IPP'.*{name!r}"):
+            figure_from_dict(data)
+
+    def test_overlong_array_rejected_too(self):
+        data = _figure().to_dict()
+        data["series"][0]["y"] = data["series"][0]["y"] + [1.0]
+        with pytest.raises(ValueError, match="expected 2"):
+            figure_from_dict(data)
+
+    @pytest.mark.parametrize("name", ["x", "y", "drop_rate"])
+    def test_missing_series_field(self, name):
+        data = _figure().to_dict()
+        del data["series"][0][name]
+        with pytest.raises(ValueError, match=f"'IPP'.*{name!r}"):
+            figure_from_dict(data)
+
+    def test_missing_label(self):
+        data = _figure().to_dict()
+        del data["series"][0]["label"]
+        with pytest.raises(ValueError, match="label"):
+            figure_from_dict(data)
+
+    @pytest.mark.parametrize("name", ["figure", "title", "x_label",
+                                      "y_label", "series"])
+    def test_missing_top_level_field(self, name):
+        data = _figure().to_dict()
+        del data[name]
+        with pytest.raises(ValueError, match=name):
+            figure_from_dict(data)
+
+    def test_non_integer_version_rejected(self):
+        data = _figure().to_dict()
+        data["schema_version"] = "2"
+        with pytest.raises(ValueError, match="schema_version"):
+            figure_from_dict(data)

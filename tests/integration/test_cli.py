@@ -316,6 +316,136 @@ class TestReportCommand:
         assert "empty trace" in capsys.readouterr().out
 
 
+class TestCompareCommand:
+    @staticmethod
+    def _write(tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return path
+
+    @staticmethod
+    def _figure_dict(mean_shift=0.0):
+        from repro.experiments.base import (
+            FigureResult, FigureSeries, PointStats,
+        )
+
+        def point(mean):
+            return PointStats(mean=mean, stddev=1.0, replicates=5,
+                              drop_rate=0.0)
+
+        series = [
+            FigureSeries("IPP", [10.0, 100.0],
+                         [point(5.0 + mean_shift), point(50.0)]),
+            FigureSeries("Pull", [10.0, 100.0],
+                         [point(2.0), point(80.0)]),
+        ]
+        return FigureResult(figure_id="t", title="t", x_label="x",
+                            y_label="y", series=series).to_dict()
+
+    def test_identical_files_exit_0(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        b = self._write(tmp_path, "b.json", self._figure_dict())
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+    def test_drifted_mean_exits_1(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        b = self._write(tmp_path, "b.json",
+                        self._figure_dict(mean_shift=30.0))
+        assert main(["compare", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: DRIFT" in out
+        assert "p=" in out
+
+    def test_alpha_knob_accepts_the_shift(self, tmp_path):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        b = self._write(tmp_path, "b.json",
+                        self._figure_dict(mean_shift=30.0))
+        assert main(["compare", str(a), str(b), "--alpha", "1e-30"]) == 0
+
+    def test_missing_series_exits_2(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        data = self._figure_dict()
+        del data["series"][1]
+        b = self._write(tmp_path, "b.json", data)
+        assert main(["compare", str(a), str(b)]) == 2
+        out = capsys.readouterr().out
+        assert "verdict: STRUCTURAL" in out
+        assert "'Pull' missing" in out
+
+    def test_series_filter(self, tmp_path):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        b = self._write(tmp_path, "b.json",
+                        self._figure_dict(mean_shift=30.0))
+        # The shift is on IPP only; restricting to Pull compares clean.
+        assert main(["compare", str(a), str(b), "--series", "Pull"]) == 0
+        assert main(["compare", str(a), str(b), "--series", "IPP"]) == 1
+
+    def test_load_error_exits_2(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["compare", str(a), str(bad)]) == 2
+        assert "compare:" in capsys.readouterr().err
+        assert main(["compare", str(a), str(tmp_path / "missing.json")]) == 2
+
+    def test_truncated_series_exits_2(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        data = self._figure_dict()
+        data["series"][0]["y"] = data["series"][0]["y"][:1]
+        b = self._write(tmp_path, "b.json", data)
+        assert main(["compare", str(a), str(b)]) == 2
+        assert "field 'y'" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", self._figure_dict())
+        b = self._write(tmp_path, "b.json",
+                        self._figure_dict(mean_shift=30.0))
+        assert main(["compare", str(a), str(b), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["verdict"] == "DRIFT"
+        assert data["series"][0]["drifts"][0]["metric"] == "mean"
+
+    def test_v1_archive_self_compare(self, capsys):
+        """Acceptance: pre-provenance archives compare via the tolerance
+        fallback and report clean against themselves."""
+        from pathlib import Path
+
+        archived = (Path(__file__).resolve().parents[2]
+                    / "results" / "figure_3a.json")
+        assert main(["compare", str(archived), str(archived)]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_two_real_sweeps_same_seed_compare_clean(self, tmp_path,
+                                                     capsys):
+        """Acceptance: two QUICK-style runs of the same code and seed
+        exit 0; a perturbed mean exits 1; a dropped series exits 2."""
+        from repro.experiments import figure_3a
+        from repro.experiments.base import Profile
+
+        profile = Profile(settle_accesses=20, measure_accesses=40,
+                          replicates=1)
+        paths = []
+        for name in ("a.json", "b.json"):
+            figure = figure_3a(profile, ttrs=(2, 5))
+            path = tmp_path / name
+            path.write_text(json.dumps(figure.to_dict()))
+            paths.append(path)
+        assert main(["compare", str(paths[0]), str(paths[1])]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+        data = json.loads(paths[1].read_text())
+        data["series"][0]["y"][0] *= 1.5
+        paths[1].write_text(json.dumps(data))
+        assert main(["compare", str(paths[0]), str(paths[1])]) == 1
+
+        del data["series"][0]
+        paths[1].write_text(json.dumps(data))
+        assert main(["compare", str(paths[0]), str(paths[1])]) == 2
+
+
 class TestProfileCommand:
     def test_prints_phase_table(self, capsys):
         code = main(["profile", "--algorithm", "ipp", "--ttr", "2",

@@ -9,6 +9,7 @@ from repro.experiments.base import Profile
 from repro.obs.manifest import (
     MANIFEST_VERSION,
     config_to_dict,
+    diff_manifests,
     package_version,
     run_manifest,
     sweep_manifest,
@@ -58,6 +59,42 @@ class TestSweepManifest:
         assert manifest["config"]["measure_accesses"] == 20
         assert manifest["engine"] == "fast"
         json.dumps(manifest, allow_nan=False)
+
+
+class TestDiffManifests:
+    def test_identical_manifests_diff_empty(self):
+        manifest = sweep_manifest(Profile(settle_accesses=1,
+                                          measure_accesses=2, replicates=1))
+        assert diff_manifests(manifest, dict(manifest)) == {}
+
+    def test_ephemeral_keys_ignored(self):
+        left = {"created_utc": "2026-01-01", "elapsed_seconds": 1.0,
+                "engine": "fast"}
+        right = {"created_utc": "2026-02-02", "elapsed_seconds": 9.0,
+                 "engine": "fast"}
+        assert diff_manifests(left, right) == {}
+
+    def test_nested_config_uses_dotted_keys(self):
+        left = {"config": {"server": {"pull_bw": 0.5}}, "seed": 42}
+        right = {"config": {"server": {"pull_bw": 0.3}}, "seed": 42}
+        assert diff_manifests(left, right) == {
+            "config.server.pull_bw": (0.5, 0.3)}
+
+    def test_one_sided_keys_pair_with_none(self):
+        assert diff_manifests({"engine": "fast"}, {}) == {
+            "engine": ("fast", None)}
+        assert diff_manifests(None, {"engine": "fast"}) == {
+            "engine": (None, "fast")}
+
+    def test_none_manifests_are_empty(self):
+        """v1 archives carry no manifest at all."""
+        assert diff_manifests(None, None) == {}
+
+    def test_version_delta_surfaces(self):
+        left = run_manifest(small_config(), "fast")
+        right = dict(left, package_version="99.0.0")
+        assert diff_manifests(left, right) == {
+            "package_version": (left["package_version"], "99.0.0")}
 
 
 class TestEngineStamping:
