@@ -1,0 +1,180 @@
+"""Serving-layer loopback benchmark: fan-out scaling + clock headroom.
+
+Runs a :class:`repro.net.server.NetServer` on loopback with N raw
+reader connections (pure fan-out consumers, no think-time model) and
+measures:
+
+- **fan-out scaling**: PAGE frames delivered per second and per-slot
+  delivery cost as the client count grows at a fixed slot rate, and
+- **clock headroom**: the fraction of slots that missed their
+  wall-clock deadline (``net_lagging_slots_total``) as the slot
+  duration shrinks — the smallest sustainable slot duration bounds the
+  broadcast rates ``serve`` can honestly provide on this host.
+
+Every run also asserts the delivery invariant: each connected reader
+sees every page-carrying slot (no shed frames at benchmark scale), so
+the timing compares correct work.
+
+Usage::
+
+    python benchmarks/bench_net.py             # full matrix
+    python benchmarks/bench_net.py --smoke     # CI: tiny, fast, no file
+
+Results land in ``BENCH_net.json`` at the repo root (``--out`` moves
+them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.algorithms import Algorithm  # noqa: E402
+from repro.core.config import SystemConfig  # noqa: E402
+from repro.net.protocol import FrameDecoder, Page  # noqa: E402
+from repro.net.server import NetServer, NetServerSettings  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_net.json"
+CONFIG = SystemConfig(algorithm=Algorithm.IPP)
+
+
+async def _reader(host: str, port: int, counts: list[int],
+                  index: int, start: dict) -> None:
+    """Count PAGE frames with slot >= the common measurement start."""
+    reader, writer = await asyncio.open_connection(host, port)
+    decoder = FrameDecoder()
+    try:
+        while True:
+            data = await reader.read(1 << 16)
+            if not data:
+                return
+            from_slot = start["slot"]
+            counts[index] += sum(
+                isinstance(f, Page)
+                and from_slot is not None and f.slot >= from_slot
+                for f in decoder.feed(data))
+    except (ConnectionError, OSError, asyncio.CancelledError):
+        return
+    finally:
+        writer.close()
+
+
+async def _run_once(clients: int, slots: int,
+                    slot_duration: float) -> dict:
+    registry = MetricsRegistry()
+    server = NetServer(
+        CONFIG,
+        NetServerSettings(slot_duration=slot_duration, max_slots=slots),
+        registry=registry)
+    await server.start()
+    counts = [0] * clients
+    start: dict = {"slot": None}
+    tasks = [asyncio.create_task(
+        _reader(server.settings.host, server.port, counts, i, start))
+        for i in range(clients)]
+    # Slots ticked before every reader is registered would reach only
+    # some of them; begin the measurement window strictly after.
+    while server.connected_clients < clients:
+        await asyncio.sleep(slot_duration)
+    start["slot"] = server.slot + 1
+    started = perf_counter()
+    await server.wait_finished()
+    elapsed = perf_counter() - started
+    # Let the tail of the frame stream cross the loopback.
+    await asyncio.sleep(max(0.05, 10 * slot_duration))
+    snapshot = registry.snapshot()
+    stats = server.stats_snapshot()
+    await server.stop()
+    for task in tasks:
+        task.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)
+
+    page_slots = sum(stats["server"]["slots"].get(k, 0)
+                     for k in ("push", "pull"))
+    shed = snapshot["net_frames_shed_total"]["value"]
+    if shed == 0 and len(set(counts)) != 1:
+        raise AssertionError(
+            "delivery invariant broken: readers saw differing frame "
+            f"counts {sorted(set(counts))} inside the common window")
+    lagging = snapshot["net_lagging_slots_total"]["value"]
+    delivered = sum(counts)
+    return {
+        "clients": clients,
+        "slots": slots,
+        "slot_duration_s": slot_duration,
+        "elapsed_s": round(elapsed, 4),
+        "page_slots": page_slots,
+        "frames_delivered": delivered,
+        "frames_shed": shed,
+        "frames_per_s": round(delivered / elapsed, 1),
+        "lagging_slots": lagging,
+        "lagging_fraction": round(lagging / slots, 4),
+    }
+
+
+def run_once(clients: int, slots: int, slot_duration: float) -> dict:
+    return asyncio.run(asyncio.wait_for(
+        _run_once(clients, slots, slot_duration),
+        timeout=slots * slot_duration * 10 + 30))
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--slots", type=int, default=1000)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="result JSON path (default: BENCH_net.json "
+                             "at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny single-point run that only checks the "
+                             "bench executes; writes no result file")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        entry = run_once(clients=5, slots=150, slot_duration=0.002)
+        print(f"smoke: {entry['frames_delivered']} frames to "
+              f"{entry['clients']} clients at "
+              f"{entry['frames_per_s']}/s, "
+              f"{entry['lagging_slots']} lagging slots")
+        print("smoke ok")
+        return 0
+
+    fanout = []
+    for clients in (10, 50, 200):
+        entry = run_once(clients, args.slots, slot_duration=0.002)
+        fanout.append(entry)
+        print(f"fan-out {clients:>4} clients: "
+              f"{entry['frames_per_s']:>9}/s, "
+              f"lagging {entry['lagging_fraction']:.1%}")
+
+    headroom = []
+    for duration in (0.005, 0.002, 0.001, 0.0005):
+        entry = run_once(50, args.slots, slot_duration=duration)
+        headroom.append(entry)
+        print(f"clock {duration * 1000:>4g} ms/slot @ 50 clients: "
+              f"lagging {entry['lagging_fraction']:.1%}")
+    sustainable = [e["slot_duration_s"] for e in headroom
+                   if e["lagging_fraction"] < 0.10]
+
+    payload = {
+        "bench": "repro.net loopback fan-out + slot-clock headroom",
+        "fanout": fanout,
+        "clock_headroom": headroom,
+        "min_sustainable_slot_duration_s": (
+            min(sustainable) if sustainable else None),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

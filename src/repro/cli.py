@@ -4,7 +4,14 @@ Subcommands:
 
 - ``figures`` — regenerate one or all of the paper's figures and print
   the series as tables (optionally saving JSON and slot traces),
-- ``simulate`` — run a single configured system and dump its metrics,
+- ``simulate`` — run a single configured system and dump its metrics
+  (``--metrics`` adds a metrics-registry snapshot via the same adapter
+  the network server exports through),
+- ``serve`` — serve one configured system over TCP with a wall-clock
+  slot clock (``--self-test`` runs the loopback server+fleet sweep and
+  checks the latency ordering against the simulator),
+- ``loadgen`` — drive a running ``serve`` instance with a client fleet
+  and report wall-clock latencies,
 - ``trace`` — run one system with a tracer attached and write a trace
   (one record per broadcast slot, or per measured-client access with
   ``--requests``) as JSONL or columnar ``.npy`` (``--format``, or
@@ -145,6 +152,69 @@ def build_parser() -> argparse.ArgumentParser:
 
     one = sub.add_parser("simulate", help="run one configured system")
     _add_system_args(one)
+    one.add_argument(
+        "--metrics", action="store_true",
+        help="include a metrics-registry snapshot (same instrument names "
+             "a live serve instance reports over STATS frames)")
+
+    serve = sub.add_parser(
+        "serve", help="serve one configured system over TCP (asyncio)")
+    _add_system_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default: 0 = ephemeral, printed at start)")
+    serve.add_argument(
+        "--slot-duration", type=float, default=0.005, metavar="SECONDS",
+        help="wall-clock seconds per broadcast slot (default: 0.005)")
+    serve.add_argument(
+        "--slots", type=int, default=None, metavar="N",
+        help="stop after N slots (default: run until interrupted; "
+             "--self-test default: 2000)")
+    serve.add_argument(
+        "--send-queue", type=int, default=256, metavar="FRAMES",
+        help="per-connection send-queue capacity (default: 256)")
+    serve.add_argument(
+        "--drop-after", type=int, default=64, metavar="FRAMES",
+        help="consecutive shed frames before a slow client is dropped")
+    serve.add_argument(
+        "--self-test", action="store_true",
+        help="loopback mode: server + client fleet in-process, swept over "
+             "PullBW and checked against the simulator's p90 ordering")
+    serve.add_argument(
+        "--clients", type=int, default=200,
+        help="(self-test) fleet size (default: 200)")
+    serve.add_argument(
+        "--think-time", type=float, default=200.0, metavar="UNITS",
+        help="(self-test) mean client think time in broadcast units")
+    serve.add_argument(
+        "--stats-json", type=Path, default=None, metavar="FILE",
+        help="write the final stats (self-test: figure-schema JSON that "
+             "'report' renders) to FILE")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running serve instance with a client fleet")
+    _add_system_args(loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True,
+                         help="the serve instance's TCP port")
+    loadgen.add_argument(
+        "--slot-duration", type=float, default=0.005, metavar="SECONDS",
+        help="the server's nominal slot duration (used to convert think "
+             "times; latencies are normalized by the observed duration)")
+    loadgen.add_argument("--clients", type=int, default=200)
+    loadgen.add_argument(
+        "--think-time", type=float, default=200.0, metavar="UNITS",
+        help="mean client think time in broadcast units (default: 200)")
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="how long to generate load (default: 10s)")
+    loadgen.add_argument(
+        "--settle-slots", type=int, default=0, metavar="N",
+        help="exclude requests issued before server slot N")
+    loadgen.add_argument(
+        "--stats-json", type=Path, default=None, metavar="FILE",
+        help="write the fleet's result JSON to FILE")
 
     trace = sub.add_parser(
         "trace", help="run one system and write a slot-level JSONL trace")
@@ -315,8 +385,130 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    result = simulate(_system_config(args))
-    print(json.dumps(result.to_dict(), indent=2))
+    config = _system_config(args)
+    if not args.metrics:
+        print(json.dumps(simulate(config).to_dict(), indent=2))
+        return 0
+    from repro.core.fast import FastEngine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.server_metrics import bind_server_metrics
+
+    engine = FastEngine(config)
+    result = engine.run()
+    registry = MetricsRegistry()
+    bind_server_metrics(registry, engine.state.server)
+    output = result.to_dict()
+    output["metrics"] = registry.snapshot()
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    config = _system_config(args)
+    if args.self_test:
+        from repro.experiments.reporting import render_figure as render
+        from repro.net.selftest import SelfTestSettings, run_selftest
+
+        settings = SelfTestSettings(
+            num_clients=args.clients,
+            slots=args.slots if args.slots is not None else 2000,
+            slot_duration=args.slot_duration,
+            think_time=args.think_time,
+            seed=args.seed,
+        )
+        result = run_selftest(config, settings)
+        if args.stats_json is not None:
+            args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+            args.stats_json.write_text(
+                json.dumps(result.figure.to_dict(), indent=2))
+            print(f"[self-test figure JSON -> {args.stats_json}]")
+        print(render(result.figure))
+        for diag in result.diagnostics:
+            fleet = diag["fleet"]
+            print(f"  pull_bw={diag['pull_bw']:g}: "
+                  f"{fleet['measured_latencies']} measured latencies, "
+                  f"{fleet['censored']} censored, "
+                  f"effective slot {fleet['effective_slot_duration']:.4g}s")
+        verdict = "matches" if result.ordering_ok else "DOES NOT match"
+        print(f"self-test: wall-clock p90 ordering {verdict} the "
+              f"simulator's (fleet={result.fleet_p90}, "
+              f"sim={result.sim_p90})")
+        return 0 if result.ok else 1
+
+    from repro.net.server import NetServer, NetServerSettings
+
+    async def _serve():
+        server = NetServer(config, NetServerSettings(
+            host=args.host, port=args.port,
+            slot_duration=args.slot_duration,
+            send_queue_frames=args.send_queue,
+            drop_after=args.drop_after,
+            max_slots=args.slots))
+        await server.start()
+        print(f"serving {config.algorithm.value} on "
+              f"{args.host}:{server.port} "
+              f"(slot {args.slot_duration}s"
+              + (f", {args.slots} slots)" if args.slots else ")"),
+              flush=True)
+        try:
+            if args.slots is not None:
+                await server.wait_finished()
+            else:
+                await asyncio.Event().wait()  # until interrupted
+            return server.stats_snapshot()
+        finally:
+            await server.stop()
+
+    try:
+        stats = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    if args.stats_json is not None:
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(json.dumps(stats, indent=2))
+        print(f"[stats JSON -> {args.stats_json}]")
+    else:
+        print(json.dumps(stats, indent=2))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.net.client import ClientFleet, FleetSettings
+
+    config = _system_config(args)
+
+    async def _drive():
+        fleet = ClientFleet(
+            config, args.host, args.port, args.slot_duration,
+            FleetSettings(num_clients=args.clients,
+                          think_time=args.think_time,
+                          settle_slots=args.settle_slots),
+            seed=args.seed)
+        await fleet.start()
+        await asyncio.sleep(args.duration)
+        return await fleet.stop(fetch_stats=True)
+
+    try:
+        result = asyncio.run(_drive())
+    except ConnectionRefusedError:
+        print(f"loadgen: nothing listening on {args.host}:{args.port} "
+              f"(start 'repro-broadcast serve' first)", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    output = result.to_dict()
+    if args.stats_json is not None:
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(json.dumps(output, indent=2))
+        print(f"[fleet JSON -> {args.stats_json}]")
+    print(json.dumps({k: v for k, v in output.items()
+                      if k != "server_stats"}, indent=2))
     return 0
 
 
@@ -572,6 +764,10 @@ def main(argv=None) -> int:
         return _cmd_figures(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "report":

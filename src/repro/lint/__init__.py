@@ -17,12 +17,35 @@ invariants:
 
 Run it as ``repro-broadcast lint`` or ``python -m repro.lint``; see
 ``docs/STATIC_ANALYSIS.md`` for the allowlist-pragma and baseline
-workflow and how to add a rule.
+workflow, the path-scoped ``[tool.repro-lint]`` configuration, and how
+to add a rule.
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.config import (
+    EMPTY_CONFIG,
+    AllowEntry,
+    LintConfig,
+    LintConfigError,
+    discover_lint_config,
+    load_lint_config,
+    parse_lint_config,
+)
 from repro.lint.engine import LintResult, run_lint
 from repro.lint.findings import Finding
 from repro.lint.rules import REGISTRY
 
-__all__ = ["Finding", "LintResult", "run_lint", "Baseline", "REGISTRY"]
+__all__ = [
+    "Finding",
+    "LintResult",
+    "run_lint",
+    "Baseline",
+    "REGISTRY",
+    "AllowEntry",
+    "LintConfig",
+    "LintConfigError",
+    "EMPTY_CONFIG",
+    "parse_lint_config",
+    "load_lint_config",
+    "discover_lint_config",
+]

@@ -18,6 +18,12 @@ from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
 from repro.lint.baseline import Baseline
+from repro.lint.config import (
+    EMPTY_CONFIG,
+    LintConfig,
+    LintConfigError,
+    load_lint_config,
+)
 from repro.lint.engine import LintResult, run_lint
 from repro.lint.rules import REGISTRY
 
@@ -49,6 +55,14 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--update-baseline", action="store_true",
         help="rewrite --baseline to the current findings and exit 0")
     parser.add_argument(
+        "--config", type=Path, default=None, metavar="PYPROJECT",
+        help="pyproject.toml with the [tool.repro-lint] path-scoped rule "
+             "exemptions (default: discovered by walking up from the "
+             "first scanned path)")
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore any [tool.repro-lint] configuration")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rules and exit")
 
@@ -69,6 +83,8 @@ def _render_text(result: LintResult, out: TextIO) -> None:
         summary += f", {len(result.baselined)} baselined"
     if result.suppressed:
         summary += f", {result.suppressed} allowed by pragma"
+    if result.config_allowed:
+        summary += f", {result.config_allowed} allowed by config"
     print(summary, file=out)
 
 
@@ -104,10 +120,28 @@ def run(args: argparse.Namespace) -> int:
             print("lint: --select lists no rule ids", file=sys.stderr)
             return EXIT_USAGE
 
+    config: Optional[LintConfig] = None
+    if args.no_config:
+        config = EMPTY_CONFIG
+    elif args.config is not None:
+        try:
+            config = load_lint_config(args.config)
+        except LintConfigError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if not config.defined:
+            print(f"lint: {args.config} has no [tool.repro-lint] section",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
     paths = list(args.paths) or _default_paths()
     try:
-        result = run_lint(paths, select=select, baseline=baseline)
+        result = run_lint(paths, select=select, baseline=baseline,
+                          config=config)
     except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except LintConfigError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return EXIT_USAGE
     except KeyError as exc:

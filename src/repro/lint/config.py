@@ -1,0 +1,280 @@
+"""Path-scoped rule configuration from ``pyproject.toml``.
+
+Inline ``# lint: allow[...]`` pragmas are the right tool for *point*
+exemptions, but a module whose whole purpose violates a rule — the
+:mod:`repro.net` serving layer reads wall clocks by design — would need
+a pragma on every other line.  ``[tool.repro-lint]`` scopes an
+exemption to a path pattern instead::
+
+    [tool.repro-lint]
+
+    [[tool.repro-lint.allow]]
+    path = "net/*.py"
+    rules = ["REP001"]
+    reason = "the serving layer measures wall-clock time by design"
+
+Semantics:
+
+- ``path`` uses :meth:`pathlib.PurePosixPath.match` — right-anchored
+  glob components — against each finding's root-relative path, so
+  ``net/*.py`` matches both ``net/server.py`` (scanning ``src/repro``)
+  and ``src/repro/net/server.py`` (scanning the repo root),
+- ``rules`` lists the rule ids the pattern exempts; every other rule
+  stays strict on those files,
+- ``reason`` is mandatory documentation, like a pragma's rationale.
+
+Discovery walks up from the first scanned path to the first
+``pyproject.toml`` that *contains* a ``[tool.repro-lint]`` section
+(``--config`` overrides, ``--no-config`` disables).  Findings removed
+this way are counted separately (``config_allowed``) from pragma
+suppressions.
+
+Parsing uses :mod:`tomllib` where available (Python 3.11+); on 3.10 a
+line-oriented fallback extracts just the ``tool.repro-lint`` tables and
+ignores everything else in the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "AllowEntry",
+    "LintConfig",
+    "LintConfigError",
+    "EMPTY_CONFIG",
+    "parse_lint_config",
+    "load_lint_config",
+    "discover_lint_config",
+]
+
+
+class LintConfigError(ValueError):
+    """Malformed ``[tool.repro-lint]`` configuration."""
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """One path-scoped exemption."""
+
+    #: Right-anchored glob (``PurePosixPath.match`` semantics).
+    path: str
+    #: Rule ids the pattern exempts.
+    rules: frozenset[str]
+    #: Why the exemption exists (mandatory, mirrors pragma rationale).
+    reason: str
+
+    def matches(self, rel: str, rule: str) -> bool:
+        return rule in self.rules and PurePosixPath(rel).match(self.path)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """The parsed ``[tool.repro-lint]`` section."""
+
+    allows: tuple[AllowEntry, ...] = ()
+    #: The pyproject.toml this came from (None for the empty config).
+    source: Optional[Path] = None
+    #: Whether a ``[tool.repro-lint]`` section was present at all
+    #: (discovery keeps walking up past files without one).
+    defined: bool = False
+
+    def allowed(self, rel: str, rule: str) -> bool:
+        """Is ``rule`` exempted for the root-relative path ``rel``?"""
+        return any(entry.matches(rel, rule) for entry in self.allows)
+
+    def allowed_file(self, path: Optional[Path], rel: str,
+                     rule: str) -> bool:
+        """Like :meth:`allowed`, also matching ``path`` relative to the
+        config file's own directory.
+
+        ``net/*.py`` must exempt ``src/repro/net/client.py`` no matter
+        whether the scan root was the repo, ``src/repro``, or
+        ``src/repro/net`` itself — the scan-root-relative ``rel`` alone
+        cannot provide that (scanning ``net/`` directly yields the bare
+        basename), but the config-relative path is root-independent.
+        """
+        if self.allowed(rel, rule):
+            return True
+        if path is None or self.source is None:
+            return False
+        try:
+            anchored = path.resolve().relative_to(
+                self.source.parent.resolve()).as_posix()
+        except ValueError:
+            return False
+        return anchored != rel and self.allowed(anchored, rule)
+
+
+#: The no-configuration configuration.
+EMPTY_CONFIG = LintConfig()
+
+
+def _require_str(value: Any, what: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise LintConfigError(f"{what} must be a non-empty string, "
+                              f"got {value!r}")
+    return value
+
+
+def parse_lint_config(data: Mapping[str, Any],
+                      source: Optional[Path] = None,
+                      known_rules: Optional[frozenset[str]] = None,
+                      ) -> LintConfig:
+    """Extract the ``[tool.repro-lint]`` section from a pyproject dict.
+
+    ``known_rules`` (default: the rule registry) validates the ids so a
+    typo fails loudly instead of silently exempting nothing.
+    """
+    if known_rules is None:
+        from repro.lint.rules import REGISTRY
+        known_rules = frozenset(REGISTRY)
+    tool = data.get("tool")
+    section = tool.get("repro-lint") if isinstance(tool, Mapping) else None
+    if section is None:
+        return LintConfig(source=source, defined=False)
+    if not isinstance(section, Mapping):
+        raise LintConfigError("[tool.repro-lint] must be a table, "
+                              f"got {type(section).__name__}")
+    raw_allows = section.get("allow", [])
+    if not isinstance(raw_allows, list):
+        raise LintConfigError("[[tool.repro-lint.allow]] must be an array "
+                              "of tables")
+    entries: list[AllowEntry] = []
+    for position, raw in enumerate(raw_allows, start=1):
+        context = f"[[tool.repro-lint.allow]] entry #{position}"
+        if not isinstance(raw, Mapping):
+            raise LintConfigError(f"{context}: must be a table")
+        unknown_keys = set(raw) - {"path", "rules", "reason"}
+        if unknown_keys:
+            raise LintConfigError(
+                f"{context}: unknown key(s) {', '.join(sorted(unknown_keys))}")
+        pattern = _require_str(raw.get("path"), f"{context}: 'path'")
+        reason = _require_str(raw.get("reason"), f"{context}: 'reason'")
+        raw_rules = raw.get("rules")
+        if (not isinstance(raw_rules, list) or not raw_rules
+                or not all(isinstance(r, str) for r in raw_rules)):
+            raise LintConfigError(f"{context}: 'rules' must be a non-empty "
+                                  "list of rule ids")
+        bad = sorted(set(raw_rules) - known_rules)
+        if bad:
+            raise LintConfigError(
+                f"{context}: unknown rule id(s): {', '.join(bad)}")
+        entries.append(AllowEntry(path=pattern,
+                                  rules=frozenset(raw_rules),
+                                  reason=reason))
+    return LintConfig(allows=tuple(entries), source=source, defined=True)
+
+
+def _parse_toml_value(text: str) -> Any:
+    """Parse a TOML string / string-array value (fallback parser only).
+
+    TOML basic strings and ``["a", "b"]`` arrays are valid Python
+    literals, so ``ast.literal_eval`` covers the subset the
+    ``tool.repro-lint`` tables use.
+    """
+    candidate = text.strip()
+    for attempt in (candidate, candidate.rsplit("#", 1)[0].strip()):
+        try:
+            return ast.literal_eval(attempt)
+        except (ValueError, SyntaxError):
+            continue
+    raise LintConfigError(f"cannot parse TOML value: {text.strip()!r}")
+
+
+def _scan_minimal_toml(text: str) -> dict[str, Any]:
+    """Extract just the ``tool.repro-lint`` tables from TOML source.
+
+    A line-oriented subset parser for Python 3.10 (no :mod:`tomllib`):
+    it understands ``[tool.repro-lint]`` / ``[[tool.repro-lint.allow]]``
+    headers and simple ``key = value`` lines inside them, skipping every
+    other section untouched.  Multi-line arrays are joined on unclosed
+    brackets.
+    """
+    section: dict[str, Any] = {}
+    allows: list[dict[str, Any]] = []
+    current: Optional[dict[str, Any]] = None
+    seen = False
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[["):
+            header = line.strip("[]").strip()
+            if header == "tool.repro-lint.allow":
+                seen = True
+                current = {}
+                allows.append(current)
+            else:
+                current = None
+            continue
+        if line.startswith("["):
+            header = line.strip("[]").strip()
+            if header == "tool.repro-lint":
+                seen = True
+                current = section
+            else:
+                current = None
+            continue
+        if current is None or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        value = value.strip()
+        # Join continuation lines of a multi-line array.
+        while value.count("[") > value.count("]") and index < len(lines):
+            value += " " + lines[index].strip()
+            index += 1
+        current[key.strip()] = _parse_toml_value(value)
+    if not seen:
+        return {}
+    if allows:
+        section["allow"] = allows
+    return {"tool": {"repro-lint": section}}
+
+
+def _load_toml(path: Path) -> dict[str, Any]:
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        return _scan_minimal_toml(path.read_text(encoding="utf-8"))
+    with path.open("rb") as handle:
+        try:
+            return tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise LintConfigError(f"{path}: {exc}") from None
+
+
+def load_lint_config(path: Path) -> LintConfig:
+    """Load and parse one ``pyproject.toml``."""
+    try:
+        data = _load_toml(path)
+    except OSError as exc:
+        raise LintConfigError(f"{path}: {exc}") from None
+    try:
+        return parse_lint_config(data, source=path)
+    except LintConfigError as exc:
+        raise LintConfigError(f"{path}: {exc}") from None
+
+
+def discover_lint_config(start: Path) -> LintConfig:
+    """Walk up from ``start`` to the nearest configured pyproject.toml.
+
+    Returns :data:`EMPTY_CONFIG` when no ancestor's ``pyproject.toml``
+    carries a ``[tool.repro-lint]`` section.
+    """
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for directory in (node, *node.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            config = load_lint_config(candidate)
+            if config.defined:
+                return config
+    return EMPTY_CONFIG

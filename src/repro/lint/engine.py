@@ -3,8 +3,9 @@
 :func:`run_lint` is the single entry point used by the CLI and the test
 suite.  It parses every ``.py`` file under the given paths once, runs the
 selected file rules per module and project rules over the whole set,
-drops findings suppressed by inline allow-pragmas, and splits the rest
-against an optional :class:`~repro.lint.baseline.Baseline`.
+drops findings suppressed by inline allow-pragmas or by the path-scoped
+``[tool.repro-lint]`` configuration (see :mod:`repro.lint.config`), and
+splits the rest against an optional :class:`~repro.lint.baseline.Baseline`.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.lint.baseline import Baseline
+from repro.lint.config import EMPTY_CONFIG, LintConfig, discover_lint_config
 from repro.lint.findings import Finding
 from repro.lint.rules import PRAGMA_RULE_ID, REGISTRY, FileRule, ProjectRule
 from repro.lint.source import Project, SourceFile, load_source
@@ -35,6 +37,8 @@ class LintResult:
     baselined: list[Finding] = field(default_factory=list)
     #: Findings suppressed by inline allow-pragmas.
     suppressed: int = 0
+    #: Findings exempted by the path-scoped ``[tool.repro-lint]`` config.
+    config_allowed: int = 0
     #: Number of files parsed.
     files_scanned: int = 0
     #: Rule ids that ran.
@@ -59,6 +63,7 @@ class LintResult:
                 "new": len(self.findings),
                 "baselined": len(self.baselined),
                 "suppressed": self.suppressed,
+                "config_allowed": self.config_allowed,
             },
             "findings": [f.to_dict() for f in self.all_findings()],
         }
@@ -99,13 +104,24 @@ def _select_rules(select: Optional[Sequence[str]]) -> list[str]:
 
 def run_lint(paths: Sequence[Path],
              select: Optional[Sequence[str]] = None,
-             baseline: Optional[Baseline] = None) -> LintResult:
+             baseline: Optional[Baseline] = None,
+             config: Optional[LintConfig] = None) -> LintResult:
     """Analyze ``paths`` with the selected rules (default: all).
 
-    Raises FileNotFoundError for missing paths and KeyError for unknown
-    rule ids — the CLI converts both into usage errors (exit 2).
+    ``config`` scopes rule exemptions to path patterns; None (the
+    default) auto-discovers the nearest ``pyproject.toml`` with a
+    ``[tool.repro-lint]`` section above the first scanned path — pass
+    :data:`~repro.lint.config.EMPTY_CONFIG` to disable.
+
+    Raises FileNotFoundError for missing paths, KeyError for unknown
+    rule ids, and :class:`~repro.lint.config.LintConfigError` for a
+    malformed configuration — the CLI converts all three into usage
+    errors (exit 2).
     """
     rule_ids = _select_rules(select)
+    if config is None:
+        config = (discover_lint_config(Path(paths[0])) if paths
+                  else EMPTY_CONFIG)
     known = frozenset(REGISTRY) | {PRAGMA_RULE_ID}
     sources = [load_source(path, rel, known)
                for path, rel in collect_files(paths)]
@@ -139,11 +155,18 @@ def run_lint(paths: Sequence[Path],
     by_rel = {source.rel: source for source in sources}
     kept: list[Finding] = []
     suppressed = 0
+    config_allowed = 0
     for finding in raw:
         source = by_rel.get(finding.path)
         if (finding.rule != PRAGMA_RULE_ID and source is not None
                 and source.allows(finding.rule, finding.line)):
             suppressed += 1
+            continue
+        if (finding.rule != PRAGMA_RULE_ID
+                and config.allowed_file(
+                    source.path if source is not None else None,
+                    finding.path, finding.rule)):
+            config_allowed += 1
             continue
         kept.append(finding)
     kept.sort()
@@ -153,5 +176,6 @@ def run_lint(paths: Sequence[Path],
     else:
         new, matched = kept, []
     return LintResult(findings=new, baselined=matched,
-                      suppressed=suppressed, files_scanned=len(sources),
+                      suppressed=suppressed, config_allowed=config_allowed,
+                      files_scanned=len(sources),
                       rules=rule_ids)

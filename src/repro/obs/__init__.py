@@ -20,7 +20,11 @@ opens the black box:
 - :mod:`repro.obs.latency` — log-bucketed latency histograms with
   interpolated p50/p90/p99 quantiles,
 - :mod:`repro.obs.manifest` — run/sweep provenance manifests (seed,
-  config, versions, timestamp).
+  config, versions, timestamp),
+- :mod:`repro.obs.server_metrics` — adapter mirroring the broadcast
+  server's own slot/queue counters into a metrics registry, so
+  simulated runs and the :mod:`repro.net` server share one
+  metrics-export path.
 
 Everything is opt-in: engines built without a tracer/profiler run the
 exact pre-observability hot path.
@@ -58,6 +62,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
 )
 from repro.obs.profile import HotLoopProfile, PhaseTimer, profile_run
+from repro.obs.server_metrics import ServerMetricsAdapter, bind_server_metrics
 from repro.obs.requests import (
     RequestRecord,
     RequestTracer,
@@ -121,4 +126,6 @@ __all__ = [
     "package_version",
     "run_manifest",
     "sweep_manifest",
+    "ServerMetricsAdapter",
+    "bind_server_metrics",
 ]

@@ -1,0 +1,7 @@
+"""Simulation logic: REP001 stays strict outside the allowed paths."""
+
+import time
+
+
+def tick_duration() -> float:
+    return time.time()

@@ -1,0 +1,11 @@
+"""Wall-clock telemetry: REP001 exempted by the fixture's pyproject."""
+
+import time
+
+
+def stamp() -> float:
+    return time.monotonic()
+
+
+def elapsed(since: float) -> float:
+    return time.perf_counter() - since

@@ -70,7 +70,7 @@ class TestJsonFormat:
         assert payload["version"] == 1
         assert payload["files_scanned"] == 1
         assert payload["counts"] == {
-            "new": 1, "baselined": 0, "suppressed": 0}
+            "new": 1, "baselined": 0, "suppressed": 0, "config_allowed": 0}
         (finding,) = payload["findings"]
         assert set(finding) == {
             "rule", "path", "line", "message", "hint", "baselined"}
@@ -105,7 +105,7 @@ class TestBaselineRatchet:
                    "--format", "json"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["counts"] == {
-            "new": 0, "baselined": 1, "suppressed": 0}
+            "new": 0, "baselined": 1, "suppressed": 0, "config_allowed": 0}
         assert payload["findings"][0]["baselined"] is True
 
         # A fresh violation on top of the baseline fails again.

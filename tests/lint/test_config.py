@@ -1,0 +1,184 @@
+"""Path-scoped [tool.repro-lint] configuration."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+from repro.lint.config import (
+    EMPTY_CONFIG,
+    AllowEntry,
+    LintConfig,
+    LintConfigError,
+    _scan_minimal_toml,
+    discover_lint_config,
+    load_lint_config,
+    parse_lint_config,
+)
+from repro.lint.engine import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PATH_CONFIG = FIXTURES / "path_config"
+
+
+def _config(**entry) -> LintConfig:
+    defaults = {"path": "net/*.py", "rules": ["REP001"], "reason": "why"}
+    defaults.update(entry)
+    return parse_lint_config(
+        {"tool": {"repro-lint": {"allow": [defaults]}}})
+
+
+class TestMatching:
+    def test_right_anchored_match(self):
+        config = _config(path="net/*.py")
+        # Matches regardless of how deep the scan root was.
+        assert config.allowed("net/server.py", "REP001")
+        assert config.allowed("src/repro/net/server.py", "REP001")
+
+    def test_other_rules_stay_strict(self):
+        config = _config(rules=["REP001"])
+        assert not config.allowed("net/server.py", "REP002")
+
+    def test_other_paths_stay_strict(self):
+        config = _config(path="net/*.py")
+        assert not config.allowed("core/fast.py", "REP001")
+        # A bare basename does not match a two-component pattern.
+        assert not config.allowed("server.py", "REP001")
+
+    def test_empty_config_allows_nothing(self):
+        assert not EMPTY_CONFIG.allowed("net/server.py", "REP001")
+        assert not EMPTY_CONFIG.defined
+
+
+class TestParsing:
+    def test_missing_section_is_undefined(self):
+        config = parse_lint_config({"tool": {"ruff": {}}})
+        assert not config.defined
+        assert config.allows == ()
+
+    def test_empty_section_is_defined(self):
+        config = parse_lint_config({"tool": {"repro-lint": {}}})
+        assert config.defined
+        assert config.allows == ()
+
+    def test_entry_fields(self):
+        config = _config(path="timing/*.py", rules=["REP001", "REP002"],
+                         reason="telemetry")
+        assert config.allows == (AllowEntry(
+            path="timing/*.py", rules=frozenset({"REP001", "REP002"}),
+            reason="telemetry"),)
+
+    @pytest.mark.parametrize("broken", [
+        {"rules": ["REP001"], "reason": "r"},          # no path
+        {"path": "", "rules": ["REP001"], "reason": "r"},
+        {"path": "a.py", "rules": ["REP001"]},         # no reason
+        {"path": "a.py", "rules": [], "reason": "r"},
+        {"path": "a.py", "rules": "REP001", "reason": "r"},
+        {"path": "a.py", "rules": ["NOPE99"], "reason": "r"},
+        {"path": "a.py", "rules": ["REP001"], "reason": "r", "extra": 1},
+    ])
+    def test_malformed_entries_raise(self, broken):
+        with pytest.raises(LintConfigError):
+            parse_lint_config({"tool": {"repro-lint": {"allow": [broken]}}})
+
+    def test_allow_must_be_array(self):
+        with pytest.raises(LintConfigError):
+            parse_lint_config({"tool": {"repro-lint": {"allow": {}}}})
+
+
+class TestFallbackScanner:
+    """The tomllib-free subset parser used on Python 3.10."""
+
+    def test_matches_real_parse(self):
+        text = (PATH_CONFIG / "pyproject.toml").read_text()
+        scanned = parse_lint_config(_scan_minimal_toml(text))
+        loaded = load_lint_config(PATH_CONFIG / "pyproject.toml")
+        assert scanned.allows == loaded.allows
+        assert scanned.defined
+
+    def test_ignores_unrelated_sections(self):
+        assert _scan_minimal_toml(
+            "[tool.ruff]\nline-length = 88\n[project]\nname = 'x'\n") == {}
+
+    def test_multiline_array(self):
+        text = ('[[tool.repro-lint.allow]]\npath = "a.py"\n'
+                'rules = [\n  "REP001",\n  "REP002",\n]\nreason = "r"\n')
+        config = parse_lint_config(_scan_minimal_toml(text))
+        assert config.allows[0].rules == frozenset({"REP001", "REP002"})
+
+
+class TestDiscovery:
+    def test_walks_up_from_file(self):
+        config = discover_lint_config(PATH_CONFIG / "timing" / "clock.py")
+        assert config.defined
+        assert config.source == PATH_CONFIG / "pyproject.toml"
+
+    def test_nearest_configured_pyproject_wins(self):
+        # The fixture's own pyproject shadows the repo root's.
+        config = discover_lint_config(PATH_CONFIG)
+        assert config.allows[0].path == "timing/*.py"
+
+    def test_no_config_anywhere(self, tmp_path):
+        assert discover_lint_config(tmp_path) == EMPTY_CONFIG
+
+
+class TestEngineIntegration:
+    def test_fixture_scoping(self):
+        result = run_lint([PATH_CONFIG])
+        assert result.config_allowed == 2  # timing/clock.py's two timers
+        assert [f.path for f in result.findings] == ["sim/logic.py"]
+
+    def test_explicit_empty_config_disables(self):
+        result = run_lint([PATH_CONFIG], config=EMPTY_CONFIG)
+        assert result.config_allowed == 0
+        assert {f.path for f in result.findings} == {
+            "sim/logic.py", "timing/clock.py"}
+
+    def test_repo_net_is_config_allowed(self):
+        """repro/net reads wall clocks; the repo config absorbs that."""
+        import repro
+
+        package = Path(repro.__file__).parent
+        strict = run_lint([package / "net"], select=["REP001"],
+                          config=EMPTY_CONFIG)
+        assert not strict.ok  # the exemption is load-bearing
+        relaxed = run_lint([package / "net"], select=["REP001"])
+        assert relaxed.ok
+        assert relaxed.config_allowed == len(strict.findings)
+
+    def test_counts_in_json_schema(self):
+        counts = run_lint([PATH_CONFIG]).to_dict()["counts"]
+        assert counts["config_allowed"] == 2
+
+
+class TestCli:
+    def test_no_config_flag(self, capsys):
+        code = lint_main(["--no-config", "--select", "REP001",
+                          str(PATH_CONFIG)])
+        assert code == 1
+        assert "timing/clock.py" in capsys.readouterr().out
+
+    def test_explicit_config(self, capsys):
+        code = lint_main(["--config", str(PATH_CONFIG / "pyproject.toml"),
+                          "--select", "REP001", str(PATH_CONFIG)])
+        assert code == 1  # sim/logic.py still fails
+        out = capsys.readouterr().out
+        assert "sim/logic.py" in out
+        assert "timing/clock.py" not in out
+        assert "allowed by config" in out
+
+    def test_config_without_section_is_usage_error(self, tmp_path, capsys):
+        bare = tmp_path / "pyproject.toml"
+        bare.write_text("[tool.ruff]\nline-length = 88\n")
+        code = lint_main(["--config", str(bare), str(PATH_CONFIG)])
+        assert code == 2
+        assert "no [tool.repro-lint] section" in capsys.readouterr().err
+
+    def test_json_counts(self, capsys):
+        code = lint_main(["--format", "json", str(PATH_CONFIG)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["config_allowed"] == 2

@@ -1,0 +1,123 @@
+"""Wire-format round trips and malformed-frame handling."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    Hello,
+    Page,
+    Request,
+    Stats,
+    StatsRequest,
+    decode_payload,
+    encode_frame,
+)
+from repro.obs.events import SLOT_KINDS
+
+FRAMES = [
+    Hello(0),
+    Hello(123456789),
+    Page(0, 0, "push"),
+    Page(999, 2**40, "pull"),
+    Request(42),
+    StatsRequest(),
+    Stats({}),
+    Stats({"slot": 7, "metrics": {"a": [1, 2.5, None]}, "s": "text"}),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("frame", FRAMES, ids=lambda f: repr(f)[:40])
+    def test_encode_decode(self, frame):
+        blob = encode_frame(frame)
+        assert decode_payload(blob[4:]) == frame
+
+    def test_length_prefix_counts_body(self):
+        blob = encode_frame(Request(1))
+        (length,) = struct.unpack("!I", blob[:4])
+        assert length == len(blob) - 4
+
+    def test_page_kind_is_slot_kind_vocabulary(self):
+        for kind in ("push", "pull"):
+            assert kind in SLOT_KINDS
+            frame = Page(5, 9, kind)
+            assert decode_payload(encode_frame(frame)[4:]).kind == kind
+
+    def test_unknown_kind_rejected_at_encode(self):
+        with pytest.raises(FrameError, match="unknown slot kind"):
+            encode_frame(Page(1, 2, "warp"))
+
+
+class TestMalformed:
+    def test_empty_body(self):
+        with pytest.raises(FrameError, match="empty"):
+            decode_payload(b"")
+
+    def test_unknown_type(self):
+        with pytest.raises(FrameError, match="unknown frame type"):
+            decode_payload(bytes([250]))
+
+    def test_truncated_payload(self):
+        blob = encode_frame(Request(7))
+        with pytest.raises(FrameError, match="truncated"):
+            decode_payload(blob[4:-2])
+
+    def test_stats_request_with_payload(self):
+        with pytest.raises(FrameError, match="no payload"):
+            decode_payload(bytes([4]) + b"x")
+
+    def test_stats_bad_json(self):
+        with pytest.raises(FrameError, match="bad STATS payload"):
+            decode_payload(bytes([5]) + b"{nope")
+
+    def test_stats_non_object(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_payload(bytes([5]) + b"[1,2]")
+
+    def test_page_unknown_kind_code(self):
+        body = bytes([2]) + struct.pack("!qqB", 1, 2, 200)
+        with pytest.raises(FrameError, match="slot-kind code"):
+            decode_payload(body)
+
+    def test_decoder_rejects_zero_length(self):
+        with pytest.raises(FrameError, match="bad frame length"):
+            FrameDecoder().feed(struct.pack("!I", 0) + b"x")
+
+    def test_decoder_rejects_oversized_length(self):
+        with pytest.raises(FrameError, match="bad frame length"):
+            FrameDecoder().feed(struct.pack("!I", MAX_FRAME_BYTES + 1))
+
+
+class TestDecoder:
+    def test_whole_stream_at_once(self):
+        blob = b"".join(encode_frame(f) for f in FRAMES)
+        assert FrameDecoder().feed(blob) == FRAMES
+
+    def test_empty_feed(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"") == []
+        assert decoder.pending_bytes == 0
+
+    @given(st.integers(min_value=1, max_value=7))
+    def test_arbitrary_chunking(self, chunk):
+        blob = b"".join(encode_frame(f) for f in FRAMES)
+        decoder = FrameDecoder()
+        out = []
+        for index in range(0, len(blob), chunk):
+            out.extend(decoder.feed(blob[index:index + chunk]))
+        assert out == FRAMES
+        assert decoder.pending_bytes == 0
+
+    def test_pending_bytes_mid_frame(self):
+        blob = encode_frame(Hello(5))
+        decoder = FrameDecoder()
+        assert decoder.feed(blob[:6]) == []
+        assert decoder.pending_bytes == 6
+        assert decoder.feed(blob[6:]) == [Hello(5)]

@@ -1,0 +1,118 @@
+"""The loopback self-test: figure schema, ordering check, tiny-scale run."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.base import figure_from_dict
+from repro.net.selftest import (
+    FLEET_LABEL,
+    SIM_LABEL,
+    SelfTestResult,
+    SelfTestSettings,
+    run_selftest,
+)
+
+#: Small enough to finish in seconds, large enough to exercise the path.
+TINY = SelfTestSettings(num_clients=4, slots=250, slot_duration=0.001,
+                        think_time=20.0, pull_bws=(0.0, 1.0),
+                        settle_fraction=0.1, seed=7)
+
+
+class TestSettings:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_clients": 0},
+        {"slots": 0},
+        {"pull_bws": ()},
+        {"settle_fraction": 1.0},
+        {"settle_fraction": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SelfTestSettings(**kwargs)
+
+    def test_equivalent_ttr_matches_offered_load(self):
+        # N clients / think T units at MCThinkTime 20: N*20/T.
+        settings = SelfTestSettings(num_clients=200, think_time=200.0)
+        assert settings.equivalent_ttr == 20.0
+        assert SelfTestSettings(num_clients=50,
+                                think_time=100.0).equivalent_ttr == 10.0
+
+    def test_point_timeout_scales_with_run_length(self):
+        short = SelfTestSettings(slots=100, slot_duration=0.001)
+        long = SelfTestSettings(slots=10_000, slot_duration=0.005)
+        assert long.point_timeout > short.point_timeout
+
+
+class TestOrdering:
+    def _result(self, fleet, sim):
+        return SelfTestResult(figure=None, fleet_p90=fleet, sim_p90=sim)
+
+    def test_matching_order_ok(self):
+        assert self._result([1.0, 3.0, 2.0], [10.0, 30.0, 20.0]).ordering_ok
+
+    def test_mismatched_order_fails(self):
+        assert not self._result([1.0, 3.0, 2.0], [10.0, 20.0, 30.0]).ok
+
+    def test_nan_fails(self):
+        assert not self._result([1.0, math.nan], [1.0, 2.0]).ordering_ok
+        assert not self._result([1.0, 2.0], [math.nan, 2.0]).ordering_ok
+
+    def test_empty_or_ragged_fails(self):
+        assert not self._result([], []).ordering_ok
+        assert not self._result([1.0], [1.0, 2.0]).ordering_ok
+
+
+class TestTinyRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_selftest(settings=TINY)
+
+    def test_figure_shape(self, result):
+        figure = result.figure
+        assert figure.figure_id == "net_selftest"
+        fleet = figure.series_by_label(FLEET_LABEL)
+        sim = figure.series_by_label(SIM_LABEL)
+        assert fleet.x == list(TINY.pull_bws)
+        assert sim.x == list(TINY.pull_bws)
+        assert len(result.fleet_p90) == len(TINY.pull_bws)
+        assert len(result.sim_p90) == len(TINY.pull_bws)
+
+    def test_figure_round_trips_through_schema(self, result):
+        loaded = figure_from_dict(result.figure.to_dict())
+        assert loaded.figure_id == "net_selftest"
+        assert [s.label for s in loaded.series] == [FLEET_LABEL, SIM_LABEL]
+        restored = loaded.series_by_label(FLEET_LABEL)
+        original = result.figure.series_by_label(FLEET_LABEL)
+        assert [p.p90 for p in restored.points] == [
+            p.p90 for p in original.points]
+
+    def test_manifest_records_the_fleet_scale(self, result):
+        manifest = result.figure.manifest
+        assert manifest["engine"] == "net"
+        selftest = manifest["selftest"]
+        assert selftest["num_clients"] == TINY.num_clients
+        assert selftest["slots"] == TINY.slots
+        assert selftest["equivalent_ttr"] == TINY.equivalent_ttr
+
+    def test_diagnostics_cover_every_point(self, result):
+        assert [d["pull_bw"] for d in result.diagnostics] == list(
+            TINY.pull_bws)
+        for diagnostic in result.diagnostics:
+            fleet = diagnostic["fleet"]
+            assert fleet["accesses"] == fleet["hits"] + fleet["misses"]
+            assert diagnostic["server_stats"]["slot"] == TINY.slots
+
+    def test_sim_series_is_populated(self, result):
+        # The simulator side always yields finite quantiles.
+        assert all(not math.isnan(v) for v in result.sim_p90)
+
+    def test_to_dict_is_json_shaped(self, result):
+        import json
+
+        payload = result.to_dict()
+        assert set(payload) >= {"ok", "ordering_ok", "fleet_p90",
+                                "sim_p90", "figure", "diagnostics"}
+        json.dumps(payload)  # must not raise

@@ -106,3 +106,92 @@ class TestInvariants:
             assert set(queue._fifo) == queue._queued
         assert queue.offers == queue.enqueued + queue.duplicates + queue.dropped
         assert queue.served + len(queue) == queue.enqueued
+
+
+class TestObserver:
+    """attach_observer / detach_observer edge cases.
+
+    The observer mechanism shadows ``offer`` with an instance attribute;
+    the request tracers and the net server's telemetry both depend on
+    attach/detach being deterministic and fully reversible.
+    """
+
+    def test_observer_sees_every_outcome(self):
+        queue = BoundedRequestQueue(1)
+        seen = []
+        queue.attach_observer(lambda page, outcome: seen.append(
+            (page, outcome)))
+        queue.offer(1)
+        queue.offer(1)
+        queue.offer(2)
+        assert seen == [(1, Offer.ENQUEUED), (1, Offer.DUPLICATE),
+                        (2, Offer.DROPPED)]
+
+    def test_attach_twice_raises_and_keeps_first(self):
+        queue = BoundedRequestQueue(2)
+        first = []
+        queue.attach_observer(lambda page, outcome: first.append(page))
+        with pytest.raises(RuntimeError, match="already attached"):
+            queue.attach_observer(lambda page, outcome: None)
+        # The losing attach must not have disturbed the first observer.
+        queue.offer(7)
+        assert first == [7]
+
+    def test_detach_restores_plain_bound_method(self):
+        queue = BoundedRequestQueue(2)
+        unobserved = queue.offer
+        queue.attach_observer(lambda page, outcome: None)
+        assert queue.offer is not unobserved  # shadowed while attached
+        queue.detach_observer()
+        assert "offer" not in queue.__dict__
+        assert queue.offer == unobserved  # the plain bound method again
+
+    def test_detach_without_attach_is_a_noop(self):
+        queue = BoundedRequestQueue(2)
+        queue.detach_observer()
+        assert queue.offer(1) is Offer.ENQUEUED
+
+    def test_detach_stops_callbacks_but_keeps_semantics(self):
+        queue = BoundedRequestQueue(1)
+        seen = []
+        queue.attach_observer(lambda page, outcome: seen.append(page))
+        queue.offer(1)
+        queue.detach_observer()
+        assert queue.offer(1) is Offer.DUPLICATE
+        assert queue.offer(2) is Offer.DROPPED
+        assert seen == [1]
+
+    def test_reattach_after_detach(self):
+        queue = BoundedRequestQueue(2)
+        queue.attach_observer(lambda page, outcome: None)
+        queue.detach_observer()
+        second = []
+        queue.attach_observer(lambda page, outcome: second.append(outcome))
+        queue.offer(3)
+        assert second == [Offer.ENQUEUED]
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 9)),
+                    max_size=300),
+           st.integers(min_value=1, max_value=5))
+    def test_counters_hold_with_observer_attached(self, ops, capacity):
+        """The observed queue keeps the exact unobserved accounting:
+        ``enqueued + duplicates + dropped == offers`` and
+        ``served <= enqueued``, with the observer log matching the
+        counters outcome-for-outcome."""
+        queue = BoundedRequestQueue(capacity)
+        log = []
+        queue.attach_observer(lambda page, outcome: log.append(outcome))
+        offers = 0
+        for is_pop, page in ops:
+            if is_pop and len(queue):
+                queue.pop()
+            else:
+                queue.offer(page)
+                offers += 1
+        assert queue.offers == offers == len(log)
+        assert queue.enqueued + queue.duplicates + queue.dropped == offers
+        assert queue.served <= queue.enqueued
+        assert queue.served + len(queue) == queue.enqueued
+        assert log.count(Offer.ENQUEUED) == queue.enqueued
+        assert log.count(Offer.DUPLICATE) == queue.duplicates
+        assert log.count(Offer.DROPPED) == queue.dropped

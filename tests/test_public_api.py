@@ -16,6 +16,9 @@ PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
+    "repro.lint",
+    "repro.net",
 ]
 
 
