@@ -149,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--chart", action="store_true",
         help="also plot each figure as an ASCII chart")
+    figures.add_argument(
+        "--watch", action=argparse.BooleanOptionalAction, default=None,
+        help="live sweep dashboard on stderr (completed/total replicates, "
+             "running means, ETA); default: on when stderr is a tty")
 
     one = sub.add_parser("simulate", help="run one configured system")
     _add_system_args(one)
@@ -191,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", type=Path, default=None, metavar="FILE",
         help="write the final stats (self-test: figure-schema JSON that "
              "'report' renders) to FILE")
+    serve.add_argument(
+        "--watch", action="store_true",
+        help="render a live stats dashboard to stderr once per second "
+             "(slot, clients, queue, slot mix, net counters)")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a running serve instance with a client fleet")
@@ -215,6 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--stats-json", type=Path, default=None, metavar="FILE",
         help="write the fleet's result JSON to FILE")
+    loadgen.add_argument(
+        "--watch", action="store_true",
+        help="poll the server for STATS once per second and render a live "
+             "dashboard to stderr while generating load")
 
     trace = sub.add_parser(
         "trace", help="run one system and write a slot-level JSONL trace")
@@ -237,6 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("auto", "jsonl", "columnar"), default="auto",
         help="trace encoding: jsonl (text), columnar (memory-mappable "
              ".npy), or auto by --out suffix (default)")
+    trace_sampling = trace.add_mutually_exclusive_group()
+    trace_sampling.add_argument(
+        "--sample-every", type=int, default=None, metavar="N",
+        help="(--requests) trace 1 access in N deterministically; "
+             "breakdown and quantiles are inverse-probability corrected")
+    trace_sampling.add_argument(
+        "--reservoir", type=int, default=None, metavar="K",
+        help="(--requests) keep a seeded uniform reservoir of K records "
+             "regardless of run length (seeded from --seed)")
 
     report = sub.add_parser(
         "report", help="summarize a saved figure JSON or JSONL trace")
@@ -327,16 +348,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _write_request_trace(config: SystemConfig, path: Path,
-                         engine: str = "fast", fmt: str = "auto") -> int:
+                         engine: str = "fast", fmt: str = "auto",
+                         sampling=None) -> int:
     """Request-trace ``config`` into a file; prints the breakdown."""
     from repro.experiments.tracing import write_request_trace
 
-    tracer = write_request_trace(config, path, engine=engine, fmt=fmt)
+    tracer = write_request_trace(config, path, engine=engine, fmt=fmt,
+                                 sampling=sampling)
     print(tracer.breakdown().render())
     quantiles = tracer.wait_quantiles()
     if quantiles:
         print("measured miss wait quantiles: "
               + "  ".join(f"{k}={v:.1f}" for k, v in quantiles.items()))
+    if sampling is not None:
+        meta = sampling.describe()
+        print(f"sampling: {meta['policy']} kept {meta['sampled']} of "
+              f"{meta['seen']} accesses (aggregates are weighted "
+              f"estimates)")
     return tracer.records_emitted
 
 
@@ -358,10 +386,21 @@ def _cmd_figures(args) -> int:
         args.json.mkdir(parents=True, exist_ok=True)
     if args.trace is not None:
         args.trace.mkdir(parents=True, exist_ok=True)
+    watch = (sys.stderr.isatty() if args.watch is None else args.watch)
     for fig_id in ids:
         # lint: allow[REP001] -- wall-clock elapsed time for user-facing
         started = time.perf_counter()
-        figure = ALL_FIGURES[fig_id](profile)
+        if watch:
+            from repro.experiments.base import sweep_progress
+            from repro.obs.dashboard import Dashboard, SweepMonitor
+
+            monitor = SweepMonitor(dashboard=Dashboard(),
+                                   title=f"figure {fig_id}")
+            with sweep_progress(monitor):
+                figure = ALL_FIGURES[fig_id](profile)
+            monitor.finish()
+        else:
+            figure = ALL_FIGURES[fig_id](profile)
         # lint: allow[REP001] -- figure-regeneration reporting, not sim time
         elapsed = time.perf_counter() - started
         if figure.manifest is not None:
@@ -452,6 +491,21 @@ def _cmd_serve(args) -> int:
               f"(slot {args.slot_duration}s"
               + (f", {args.slots} slots)" if args.slots else ")"),
               flush=True)
+        watch_task = None
+        if args.watch:
+            from repro.obs.dashboard import Dashboard, render_stats_frame
+
+            dashboard = Dashboard(interval=0.0)
+
+            async def _watch():
+                title = f"serve :{server.port}"
+                while True:
+                    await asyncio.sleep(1.0)
+                    dashboard.show(
+                        render_stats_frame(server.stats_snapshot(), title),
+                        force=True)
+
+            watch_task = asyncio.create_task(_watch())
         try:
             if args.slots is not None:
                 await server.wait_finished()
@@ -459,6 +513,8 @@ def _cmd_serve(args) -> int:
                 await asyncio.Event().wait()  # until interrupted
             return server.stats_snapshot()
         finally:
+            if watch_task is not None:
+                watch_task.cancel()
             await server.stop()
 
     try:
@@ -490,7 +546,29 @@ def _cmd_loadgen(args) -> int:
                           settle_slots=args.settle_slots),
             seed=args.seed)
         await fleet.start()
-        await asyncio.sleep(args.duration)
+        if not args.watch:
+            await asyncio.sleep(args.duration)
+            return await fleet.stop(fetch_stats=True)
+        from repro.obs.dashboard import Dashboard, render_stats_frame
+
+        dashboard = Dashboard(interval=0.0)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + args.duration
+        title = f"loadgen -> {args.host}:{args.port}"
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            await asyncio.sleep(min(1.0, remaining))
+            stats = await fleet.fetch_stats()
+            if stats is None:  # every connection is down
+                continue
+            # Fleet-side metrics share the frame with the server's stats,
+            # so one dashboard shows both ends of the wire.
+            stats = dict(stats)
+            stats.setdefault("metrics", {}).update(
+                fleet.registry.snapshot())
+            dashboard.show(render_stats_frame(stats, title), force=True)
         return await fleet.stop(fetch_stats=True)
 
     try:
@@ -514,9 +592,23 @@ def _cmd_loadgen(args) -> int:
 
 def _cmd_trace(args) -> int:
     config = _system_config(args)
+    if (args.sample_every is not None or args.reservoir is not None) \
+            and not args.requests:
+        print("trace: --sample-every/--reservoir require --requests "
+              "(slot traces are not sampled)", file=sys.stderr)
+        return 2
     if args.requests:
+        sampling = None
+        if args.sample_every is not None:
+            from repro.obs.sampling import EveryNSampling
+
+            sampling = EveryNSampling(args.sample_every)
+        elif args.reservoir is not None:
+            from repro.obs.sampling import ReservoirSampling
+
+            sampling = ReservoirSampling(args.reservoir, seed=args.seed)
         emitted = _write_request_trace(config, args.out, engine=args.engine,
-                                       fmt=args.format)
+                                       fmt=args.format, sampling=sampling)
         print(f"{emitted} request records -> {args.out}")
     else:
         from repro.experiments.tracing import write_slot_trace

@@ -32,7 +32,7 @@ def _flat_push_series(label: str, config: SystemConfig, xs, profile: Profile,
     """Pure-Push is independent of the client population: run the point
     once and extend it across the x axis, exactly like the paper's flat
     line."""
-    point = run_replicated(config, profile)
+    point = run_replicated(config, profile, label=label)
     return FigureSeries(label=label, x=list(xs),
                         points=[point] * len(xs))
 
@@ -103,7 +103,8 @@ def _warmup_series(label: str, config: SystemConfig,
     """One warm-up curve: replicated runs, per-level crossing-time means."""
     configs = [profile.apply(config, profile.base_seed + r)
                for r in range(profile.replicates)]
-    results = run_sweep(configs, warmup=True, workers=profile.workers)
+    results = run_sweep(configs, warmup=True, workers=profile.workers,
+                        label=label)
     xs: list[float] = []
     points: list[PointStats] = []
     for level in WARMUP_LEVELS:

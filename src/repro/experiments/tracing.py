@@ -84,16 +84,25 @@ def write_slot_trace(config: SystemConfig, path: Union[str, Path],
 
 
 def write_request_trace(config: SystemConfig, path: Union[str, Path],
-                        engine: str = "fast", fmt: str = "auto"
-                        ) -> RequestTracer:
+                        engine: str = "fast", fmt: str = "auto",
+                        sampling=None) -> RequestTracer:
     """Run ``config`` with a request tracer writing to ``path``.
+
+    ``sampling`` is an optional
+    :class:`~repro.obs.sampling.SamplingPolicy`; sampled records carry
+    inverse-probability weights in the returned tracer's aggregates.
+    The tracer is closed — not just the sink — before returning, so a
+    deferring (reservoir) policy has flushed its records into the file.
 
     Returns the tracer (its sink already closed), so callers can render
     the in-memory breakdown and quantiles without re-reading the trace.
     """
-    with open_trace_sink(path, fmt, table="request") as sink:
-        tracer = RequestTracer(sink)
+    sink = open_trace_sink(path, fmt, table="request")
+    tracer = RequestTracer(sink, sampling=sampling)
+    try:
         _engine_class(engine)(config, request_tracer=tracer).run()
+    finally:
+        tracer.close()
     return tracer
 
 

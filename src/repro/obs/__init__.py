@@ -19,6 +19,12 @@ opens the black box:
   measured-client access with a wait decomposition,
 - :mod:`repro.obs.latency` — log-bucketed latency histograms with
   interpolated p50/p90/p99 quantiles,
+- :mod:`repro.obs.sampling` — 1-in-N and seeded-reservoir sampling
+  policies for the request tracer, with inverse-probability correction
+  weights so sampled aggregates estimate the full population,
+- :mod:`repro.obs.dashboard` — live terminal telemetry: sweep-progress
+  monitor (``figures --watch``) and net STATS frame rendering (``serve
+  --watch`` / ``loadgen --watch``) over one metrics vocabulary,
 - :mod:`repro.obs.manifest` — run/sweep provenance manifests (seed,
   config, versions, timestamp),
 - :mod:`repro.obs.server_metrics` — adapter mirroring the broadcast
@@ -46,6 +52,12 @@ from repro.obs.columnar import (
     table_of,
 )
 from repro.obs.compare import TraceDiff, capture_trace, compare_engines, diff_traces
+from repro.obs.dashboard import (
+    Dashboard,
+    SweepMonitor,
+    quantiles_from_bucket_snapshot,
+    render_stats_frame,
+)
 from repro.obs.latency import LATENCY_BUCKETS, LatencyHistogram, log_buckets
 from repro.obs.manifest import (
     MANIFEST_VERSION,
@@ -62,6 +74,12 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
 )
 from repro.obs.profile import HotLoopProfile, PhaseTimer, profile_run
+from repro.obs.sampling import (
+    EveryNSampling,
+    ReservoirSampling,
+    SamplingPolicy,
+    sample_stream,
+)
 from repro.obs.server_metrics import ServerMetricsAdapter, bind_server_metrics
 from repro.obs.requests import (
     RequestRecord,
@@ -126,6 +144,14 @@ __all__ = [
     "package_version",
     "run_manifest",
     "sweep_manifest",
+    "SamplingPolicy",
+    "EveryNSampling",
+    "ReservoirSampling",
+    "sample_stream",
+    "Dashboard",
+    "SweepMonitor",
+    "render_stats_frame",
+    "quantiles_from_bucket_snapshot",
     "ServerMetricsAdapter",
     "bind_server_metrics",
 ]

@@ -1,0 +1,350 @@
+"""Live terminal telemetry: sweep progress and net STATS frames.
+
+One rendering vocabulary for both halves of the system:
+
+- :class:`SweepMonitor` implements the
+  :class:`~repro.experiments.base.SweepProgress` protocol, so
+  ``figures --watch`` streams per-replicate completions (completed /
+  total, running means, p50/p90 of replicate means, ETA) into a
+  :class:`~repro.obs.metrics.MetricsRegistry` and onto the terminal
+  while a sweep runs;
+- :func:`render_stats_frame` renders the STATS payload shape the
+  ``repro.net`` server and client fleet already exchange
+  (:meth:`~repro.net.server.NetServer.stats_snapshot`), so ``serve
+  --watch`` and ``loadgen --watch`` reuse the same frame writer.
+
+The :class:`Dashboard` frame writer redraws in place on a tty (cursor-up
++ clear-line ANSI, no external deps) and degrades to throttled plain
+frames when the stream is a pipe or file.
+
+This module measures wall-clock time by design (frame throttling, ETA);
+lint rule REP001 is allowed for it via ``[tool.repro-lint]`` in
+pyproject.toml, like the ``repro.net`` serving layer.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TextIO
+
+from repro.obs.latency import LatencyHistogram
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Dashboard",
+    "SweepMonitor",
+    "quantiles_from_bucket_snapshot",
+    "render_stats_frame",
+]
+
+
+class Dashboard:
+    """In-place multi-line terminal frame writer.
+
+    On a tty, each :meth:`show` repaints the previous frame's lines
+    (cursor-up + erase-line); elsewhere it appends whole frames,
+    throttled by ``interval`` seconds so a pipe does not fill with
+    thousands of near-identical frames.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 interval: float = 0.5):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        isatty = getattr(self.stream, "isatty", None)
+        self._tty = bool(isatty()) if callable(isatty) else False
+        self._lines = 0
+        self._last = -math.inf
+
+    def show(self, frame: str, force: bool = False) -> bool:
+        """Render ``frame`` (multi-line text); returns False if throttled."""
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return False
+        self._last = now
+        lines = frame.splitlines() or [""]
+        if not self._tty:
+            self.stream.write(frame + "\n")
+            self.stream.flush()
+            return True
+        parts = []
+        if self._lines:
+            parts.append(f"\x1b[{self._lines}F")  # up to the frame's top
+        parts.extend(f"\x1b[2K{line}\n" for line in lines)
+        stale = self._lines - len(lines)
+        if stale > 0:  # the old frame was taller: blank the leftovers
+            parts.append("\x1b[2K\n" * stale)
+            parts.append(f"\x1b[{stale}F")
+        self.stream.write("".join(parts))
+        self.stream.flush()
+        self._lines = len(lines)
+        return True
+
+    def close(self, frame: Optional[str] = None) -> None:
+        """Paint a final frame (unthrottled) and stop tracking lines.
+
+        The final frame is left on screen; subsequent output continues
+        below it.
+        """
+        if frame is not None:
+            self.show(frame, force=True)
+        self._lines = 0
+
+
+@dataclass
+class _SweepState:
+    """Progress of one run_sweep call."""
+
+    label: Optional[str]
+    total: int
+    completed: int = 0
+    last_mean: float = math.nan
+    #: Replicate mean waits, for running p50/p90 (merged across sweeps
+    #: through Histogram.merge for the figure-level view).
+    hist: LatencyHistogram = field(default_factory=lambda: LatencyHistogram(
+        "sweep_replicate_mean_wait", "per-replicate mean response times"))
+
+
+def _hms(seconds: float) -> str:
+    if not math.isfinite(seconds):
+        return "--:--"
+    seconds = max(0, int(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(min(1.0, max(0.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+class SweepMonitor:
+    """Aggregates per-replicate sweep completions for live display.
+
+    Satisfies :class:`~repro.experiments.base.SweepProgress`: install it
+    with :func:`~repro.experiments.base.sweep_progress` (or pass it to
+    ``run_sweep(progress=...)``) and every replicate completion updates
+
+    - the metrics registry: ``sweep_replicates_completed_total`` /
+      ``sweep_replicates_total`` / ``sweep_eta_seconds`` /
+      ``sweep_running_mean_wait``, plus a latency histogram of replicate
+      mean waits — the same instrument vocabulary a STATS snapshot
+      carries, so sim sweeps and the net server export alike;
+    - the optional :class:`Dashboard`, with a progress bar, running
+      mean / p50 / p90 of the completed replicates' mean waits, and a
+      rate-based ETA over the replicates announced so far.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 dashboard: Optional[Dashboard] = None,
+                 title: str = "sweep"):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.dashboard = dashboard
+        self.title = title
+        self.sweeps: list[_SweepState] = []
+        self._m_completed = self.registry.counter(
+            "sweep_replicates_completed_total", "replicate runs finished")
+        self._m_total = self.registry.gauge(
+            "sweep_replicates_total", "replicate runs announced so far")
+        self._m_eta = self.registry.gauge(
+            "sweep_eta_seconds", "estimated seconds until the announced "
+            "replicates finish")
+        self._m_mean = self.registry.gauge(
+            "sweep_running_mean_wait", "mean of completed replicates' mean "
+            "response times (broadcast units)")
+        self._started_at = time.monotonic()
+
+    # -- SweepProgress protocol --------------------------------------------
+    def sweep_started(self, total: int, label: Optional[str]) -> None:
+        self.sweeps.append(_SweepState(label=label, total=total))
+        self._m_total.set(self.total)
+        if self.dashboard is not None:
+            self.dashboard.show(self.render())
+
+    def replicate_done(self, index: int, result) -> None:
+        state = self.sweeps[-1] if self.sweeps else None
+        if state is None:  # replicate without sweep_started: tolerate
+            state = _SweepState(label=None, total=0)
+            self.sweeps.append(state)
+        state.completed += 1
+        self._m_completed.inc()
+        mean = getattr(getattr(result, "response_miss", None), "mean",
+                       math.nan)
+        if mean is not None and not math.isnan(mean):
+            state.last_mean = mean
+            state.hist.observe(mean)
+        merged = self.overall_histogram()
+        if merged.count:
+            self._m_mean.set(merged.mean)
+        eta = self.eta_seconds()
+        self._m_eta.set(eta if eta is not None else 0.0)
+        if self.dashboard is not None:
+            self.dashboard.show(self.render())
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Replicates announced so far (grows as sweeps are announced)."""
+        return sum(s.total for s in self.sweeps)
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.sweeps)
+
+    def overall_histogram(self) -> LatencyHistogram:
+        """All sweeps' replicate mean waits pooled (Histogram.merge)."""
+        merged = LatencyHistogram(
+            "sweep_replicate_mean_wait", "per-replicate mean response times")
+        for state in self.sweeps:
+            merged.merge(state.hist)
+        return merged
+
+    def eta_seconds(self) -> Optional[float]:
+        """Rate-based remaining time over the *announced* replicates.
+
+        Figures announce their sweeps one at a time, so this is a lower
+        bound early in a figure and converges as the last series starts.
+        None before the first completion.
+        """
+        completed = self.completed
+        if completed == 0:
+            return None
+        elapsed = time.monotonic() - self._started_at
+        remaining = max(0, self.total - completed)
+        return remaining * elapsed / completed
+
+    def render(self) -> str:
+        """The dashboard frame (also the final summary on finish)."""
+        total = self.total
+        completed = self.completed
+        fraction = completed / total if total else 0.0
+        elapsed = time.monotonic() - self._started_at
+        eta = self.eta_seconds()
+        lines = [
+            f"{self.title}  [{_bar(fraction)}] {completed}/{total} "
+            f"replicates  elapsed {_hms(elapsed)}  eta "
+            f"{_hms(eta) if eta is not None else '--:--'}"
+        ]
+        merged = self.overall_histogram()
+        if merged.count:
+            lines.append(
+                f"  mean wait {merged.mean:.1f}  "
+                f"p50 {merged.quantile(0.5):.1f}  "
+                f"p90 {merged.quantile(0.9):.1f}  (broadcast units, over "
+                f"replicate means)")
+        state = self.sweeps[-1] if self.sweeps else None
+        if state is not None:
+            label = state.label or "series"
+            detail = (f"  last mean {state.last_mean:.1f}"
+                      if not math.isnan(state.last_mean) else "")
+            lines.append(f"  current: {label}  {state.completed}/"
+                         f"{state.total}{detail}")
+        return "\n".join(lines)
+
+    def finish(self) -> None:
+        """Paint the final frame and release the dashboard."""
+        if self.dashboard is not None:
+            self.dashboard.close(self.render())
+
+
+# -- net STATS frames --------------------------------------------------------
+
+def quantiles_from_bucket_snapshot(snapshot: dict,
+                                   qs: Sequence[float] = (0.5, 0.9, 0.99),
+                                   ) -> Optional[dict[str, float]]:
+    """Approximate quantiles from a histogram *snapshot* dict.
+
+    STATS frames carry instrument snapshots (plain dicts), not live
+    :class:`~repro.obs.metrics.Histogram` objects; this reads the
+    ``buckets`` mapping (``{bound: count, ..., "+inf": n}``) and
+    interpolates inside the owning bucket, clamping to the snapshot's
+    observed min/max — the same convention
+    :meth:`~repro.obs.latency.LatencyHistogram.quantile` uses.  Returns
+    ``{"p50": ..., ...}`` keyed like the run results, or None when the
+    snapshot is empty or not a histogram.
+    """
+    buckets = snapshot.get("buckets")
+    total = snapshot.get("count", 0)
+    if not buckets or not total:
+        return None
+    bounds = sorted((float(k), v) for k, v in buckets.items()
+                    if k != "+inf")
+    bounds.append((math.inf, buckets.get("+inf", 0)))
+    lo = snapshot.get("min", 0.0)
+    hi = snapshot.get("max", math.inf)
+    out = {}
+    for q in qs:
+        rank = q * total
+        cumulative = 0.0
+        value = hi
+        for index, (bound, count) in enumerate(bounds):
+            if not count:
+                continue
+            if cumulative + count >= rank:
+                lower = bounds[index - 1][0] if index > 0 else lo
+                upper = bound if math.isfinite(bound) else hi
+                lower = min(max(lower, lo), hi)
+                upper = max(min(upper, hi), lower)
+                fraction = (rank - cumulative) / count
+                value = lower + fraction * (upper - lower)
+                break
+            cumulative += count
+        out[f"p{int(q * 100)}"] = value
+    return out
+
+
+def _metric_value(metrics: dict, name: str) -> Optional[float]:
+    state = metrics.get(name)
+    if isinstance(state, dict) and "value" in state:
+        return state["value"]
+    return None
+
+
+def render_stats_frame(stats: dict, title: str = "server") -> str:
+    """Render one STATS payload as a dashboard frame.
+
+    ``stats`` is the :meth:`~repro.net.server.NetServer.stats_snapshot`
+    shape — ``{"slot", "slot_duration", "connected_clients", "server",
+    "metrics"}`` — but every key is optional, so the fleet side can
+    render partial payloads (its own registry snapshot plus whatever the
+    server reported) through the same function.
+    """
+    lines = [f"{title}  slot {stats.get('slot', '-')}"
+             + (f"  clients {stats['connected_clients']}"
+                if "connected_clients" in stats else "")]
+    server = stats.get("server") or {}
+    queue = server.get("queue") or {}
+    if queue:
+        depth = queue.get("depth", "-")
+        capacity = queue.get("capacity", "-")
+        drop_rate = queue.get("drop_rate", 0.0)
+        lines.append(f"  queue {depth}/{capacity}  served "
+                     f"{queue.get('served', '-')}  drop rate "
+                     f"{drop_rate:.1%}")
+    slots = server.get("slots") or {}
+    if slots:
+        mix = "  ".join(f"{kind} {count}" for kind, count in
+                        sorted(slots.items()))
+        lines.append(f"  slots {mix}")
+    metrics = stats.get("metrics") or {}
+    counters = [(name.removeprefix("net_").removesuffix("_total"), value)
+                for name in ("net_frames_sent_total", "net_frames_shed_total",
+                             "net_requests_received_total",
+                             "net_clients_dropped_total",
+                             "net_lagging_slots_total")
+                if (value := _metric_value(metrics, name)) is not None]
+    if counters:
+        lines.append("  net " + "  ".join(f"{name} {value:g}"
+                                          for name, value in counters))
+    for name, label in (("fleet_latency_seconds", "fleet latency (s)"),
+                        ("request_wait", "request wait")):
+        quantiles = quantiles_from_bucket_snapshot(metrics.get(name) or {})
+        if quantiles:
+            rendered = "  ".join(f"{k} {v:.4g}"
+                                 for k, v in quantiles.items())
+            lines.append(f"  {label}  {rendered}")
+    return "\n".join(lines)

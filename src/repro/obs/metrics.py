@@ -111,13 +111,43 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf overflow
         self._tally = Tally()
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.counts[bisect.bisect_left(self.bounds, value)] += 1
-        self._tally.add(value)
+    def observe(self, value: float, weight: float = 1) -> None:
+        """Record one observation, optionally carrying a frequency weight.
+
+        ``weight`` is the inverse-probability correction factor a sampled
+        stream attaches to each kept observation (see
+        :mod:`repro.obs.sampling`); the default of integer ``1`` keeps
+        unweighted histograms on the exact integer-count / plain-Welford
+        path, so unsampled runs stay bit-identical.
+        """
+        self.counts[bisect.bisect_left(self.bounds, value)] += weight
+        if weight == 1:
+            self._tally.add(value)
+        else:
+            self._tally.add_weighted(value, weight)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Bucket-wise, so it only makes sense — and is only allowed — when
+        both histograms share the same bucket bounds; merging histograms
+        with different bounds raises ValueError.  Summary statistics
+        merge through :meth:`~repro.sim.monitor.Tally.merge` (Chan et
+        al.), so the result matches observing the pooled stream
+        directly, up to bucket resolution in the quantiles.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ ({len(other.bounds)} vs "
+                f"{len(self.bounds)} bounds)")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self._tally.merge(other._tally)
 
     @property
-    def count(self) -> int:
+    def count(self) -> float:
+        """Total observation weight (an exact int when unweighted)."""
         return self._tally.count
 
     @property
@@ -195,7 +225,10 @@ class _NullInstrument:
     def set(self, value) -> None:
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value, weight=1) -> None:
+        pass
+
+    def merge(self, other) -> None:
         pass
 
     def quantile(self, q) -> float:

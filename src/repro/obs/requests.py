@@ -139,15 +139,18 @@ class WaitBreakdown:
     ``push_wait`` or ``pull_wait`` by the kind of slot that served it.
     """
 
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    pulls_sent: int = 0
-    pulls_enqueued: int = 0
-    pulls_duplicate: int = 0
-    pulls_dropped: int = 0
-    served_push: int = 0
-    served_pull: int = 0
+    #: Event counts.  Exact ints for full traces; weighted (possibly
+    #: fractional) population estimates when the records came through a
+    #: sampling policy (see :mod:`repro.obs.sampling`).
+    accesses: float = 0
+    hits: float = 0
+    misses: float = 0
+    pulls_sent: float = 0
+    pulls_enqueued: float = 0
+    pulls_duplicate: float = 0
+    pulls_dropped: float = 0
+    served_push: float = 0
+    served_pull: float = 0
     #: Total think time (accesses x ThinkTime; the engine fills it in).
     think: float = 0.0
     #: Total wait before the page aired, split by the serving slot kind.
@@ -156,29 +159,37 @@ class WaitBreakdown:
     #: Total on-air transmission time.
     service: float = 0.0
 
-    def add(self, record: RequestRecord) -> None:
-        """Fold one completed record in (caller filters to measured)."""
-        self.accesses += 1
+    def add(self, record: RequestRecord, weight: float = 1) -> None:
+        """Fold one completed record in (caller filters to measured).
+
+        ``weight`` is the record's inverse-probability correction when it
+        came through a sampling policy: the record counts as ``weight``
+        identical accesses, turning the breakdown into an unbiased
+        estimate of the full population's.  The default of integer ``1``
+        keeps full traces on the exact integer/float arithmetic they had
+        before sampling existed (``1 * x`` is exactly ``x``).
+        """
+        self.accesses += weight
         if record.hit:
-            self.hits += 1
+            self.hits += weight
             return
-        self.misses += 1
+        self.misses += weight
         if record.pull_sent:
-            self.pulls_sent += 1
+            self.pulls_sent += weight
             if record.pull_outcome == "enqueued":
-                self.pulls_enqueued += 1
+                self.pulls_enqueued += weight
             elif record.pull_outcome == "duplicate":
-                self.pulls_duplicate += 1
+                self.pulls_duplicate += weight
             elif record.pull_outcome == "dropped":
-                self.pulls_dropped += 1
+                self.pulls_dropped += weight
         queue_wait = record.queue_wait or 0.0
         if record.served_kind == "pull":
-            self.served_pull += 1
-            self.pull_wait += queue_wait
+            self.served_pull += weight
+            self.pull_wait += weight * queue_wait
         else:
-            self.served_push += 1
-            self.push_wait += queue_wait
-        self.service += record.service or 0.0
+            self.served_push += weight
+            self.push_wait += weight * queue_wait
+        self.service += weight * (record.service or 0.0)
 
     # -- derived views -----------------------------------------------------
     @property
@@ -208,21 +219,29 @@ class WaitBreakdown:
         def share(part: float) -> str:
             return f"{part / busy:.1%}" if busy else "-"
 
+        def events(count: float):
+            # Weighted (sampled) breakdowns estimate fractional counts;
+            # full traces print the exact ints they always did.
+            return int(count) if float(count).is_integer() else (
+                f"{count:.1f}")
+
         rows = [
-            ("think", self.think, share(self.think), self.accesses),
+            ("think", self.think, share(self.think), events(self.accesses)),
             ("push wait", self.push_wait, share(self.push_wait),
-             self.served_push),
+             events(self.served_push)),
             ("pull queue wait", self.pull_wait, share(self.pull_wait),
-             self.served_pull),
+             events(self.served_pull)),
             ("service (on air)", self.service, share(self.service),
-             self.misses),
+             events(self.misses)),
         ]
         table = format_table(
             ("stage", "broadcast units", "share", "events"), rows)
-        summary = (f"accesses {self.accesses} (hits {self.hits} / misses "
-                   f"{self.misses}), pulls sent {self.pulls_sent} "
-                   f"(enqueued {self.pulls_enqueued}, duplicate "
-                   f"{self.pulls_duplicate}, dropped {self.pulls_dropped})")
+        summary = (f"accesses {events(self.accesses)} (hits "
+                   f"{events(self.hits)} / misses {events(self.misses)}), "
+                   f"pulls sent {events(self.pulls_sent)} "
+                   f"(enqueued {events(self.pulls_enqueued)}, duplicate "
+                   f"{events(self.pulls_duplicate)}, dropped "
+                   f"{events(self.pulls_dropped)})")
         return f"{table}\n{summary}"
 
 
@@ -284,19 +303,30 @@ class RequestTracer:
             of :meth:`breakdown`.
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
             accumulating aggregate request counters and a wait histogram.
+        sampling: optional :class:`~repro.obs.sampling.SamplingPolicy`.
+            When set, only accepted accesses are traced (skipped ones
+            cost a single policy call) and every kept record carries an
+            inverse-probability weight through the breakdown, histogram,
+            and metrics, so the aggregates estimate the full population.
+            Reservoir policies hold their records back until
+            :meth:`finalize`.
     """
 
     def __init__(self, sink: TraceSink, think_time: Optional[float] = None,
-                 metrics=None):
+                 metrics=None, sampling=None):
         self.sink = sink
         self.think_time = think_time
+        self.sampling = sampling
         self.records_emitted = 0
+        #: Accesses offered to the tracer (sampled or not).
+        self.accesses_seen = 0
         self.breakdown_stats = WaitBreakdown()
         #: Measured miss waits, for p50/p90/p99 reporting.
         self.wait_histogram = LatencyHistogram(
             "request_wait", "measured MC response times")
         self._open: Optional[_OpenRequest] = None
         self._next_index = 0
+        self._finalized = False
         self._metrics = metrics
         if metrics is not None:
             self._m_hits = metrics.counter(
@@ -311,10 +341,21 @@ class RequestTracer:
 
     # -- engine hooks ------------------------------------------------------
     def on_access(self, page: int, now: float, measured: bool) -> None:
-        """The MC issued an access for ``page`` at ``now``."""
-        self._open = _OpenRequest(index=self._next_index, page=page,
-                                  issued_at=now, measured=measured)
+        """The MC issued an access for ``page`` at ``now``.
+
+        With a sampling policy attached, a rejected access leaves no
+        open request — every later hook is a no-op for it (they all
+        guard on ``self._open``), which is where sampling's speedup
+        comes from.
+        """
+        index = self._next_index
         self._next_index += 1
+        self.accesses_seen += 1
+        if self.sampling is not None and not self.sampling.accept(index):
+            self._open = None
+            return
+        self._open = _OpenRequest(index=index, page=page,
+                                  issued_at=now, measured=measured)
 
     def on_hit(self, page: int, now: float) -> None:
         """The cache answered the open access."""
@@ -395,33 +436,64 @@ SlotKind` (push or pull).
     # -- results -----------------------------------------------------------
     def _emit(self, record: RequestRecord) -> None:
         self._open = None
+        if self.sampling is None:
+            self._deliver(record, 1)
+            return
+        weight = self.sampling.commit(record)
+        if weight is not None:
+            self._deliver(record, weight)
+        # weight None: the policy holds the record (reservoir); it is
+        # delivered — or evicted — at finalize() time.
+
+    def _deliver(self, record: RequestRecord, weight: float) -> None:
         self.sink.emit(record)
         self.records_emitted += 1
         if record.measured:
-            self.breakdown_stats.add(record)
+            self.breakdown_stats.add(record, weight)
             if not record.hit:
-                self.wait_histogram.observe(record.wait)
+                self.wait_histogram.observe(record.wait, weight)
             if self._metrics is not None:
                 if record.hit:
-                    self._m_hits.inc()
+                    self._m_hits.inc(weight)
                 else:
-                    self._m_misses.inc()
-                    self._m_wait.observe(record.wait)
+                    self._m_misses.inc(weight)
+                    self._m_wait.observe(record.wait, weight)
                 if record.pull_sent:
-                    self._m_pulls.inc()
+                    self._m_pulls.inc(weight)
+
+    def finalize(self) -> None:
+        """Flush records a deferring sampling policy held back.
+
+        Idempotent; called automatically by :meth:`breakdown`,
+        :meth:`wait_quantiles`, and :meth:`close`.  A no-op for full
+        traces and streaming policies.
+        """
+        if self._finalized or self.sampling is None:
+            return
+        self._finalized = True
+        for record, weight in self.sampling.drain():
+            self._deliver(record, weight)
 
     def breakdown(self) -> WaitBreakdown:
         """The measured-phase wait decomposition (think row filled when
         ``think_time`` is known)."""
+        self.finalize()
         stats = self.breakdown_stats
         if self.think_time is not None:
             stats.think = self.think_time * stats.accesses
         return stats
 
     def wait_quantiles(self) -> Optional[dict[str, float]]:
-        """p50/p90/p99 of measured miss waits (None before any miss)."""
+        """p50/p90/p99 of measured miss waits (None before any miss).
+
+        Sampled tracers report weighted quantiles — unbiased estimates
+        of the full-trace quantiles, since the policies sample by index,
+        never by value.
+        """
+        self.finalize()
         return self.wait_histogram.quantiles()
 
     def close(self) -> None:
-        """Close the underlying sink."""
+        """Flush any deferred sampled records and close the sink."""
+        self.finalize()
         self.sink.close()

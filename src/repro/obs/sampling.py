@@ -1,0 +1,243 @@
+"""Sampling policies for request tracing.
+
+Tracing every MC access is exact but costs real time at paper scale and
+is out of the question for the million-client fleets the ROADMAP
+targets.  A :class:`SamplingPolicy` lets a
+:class:`~repro.obs.requests.RequestTracer` trace only a subset of
+accesses while still estimating the full-population wait decomposition:
+every kept record carries an **inverse-probability weight** (the
+Horvitz-Thompson correction — a record sampled with probability ``1/w``
+stands for ``w`` accesses), which :class:`~repro.obs.requests.\
+WaitBreakdown` and the wait histograms fold in via their ``weight``
+parameters.  Because both policies here select on the access *index*
+(never on the observed wait), the kept records are an unbiased sample of
+the stream and weighted quantiles are consistent estimators of the
+full-trace quantiles.
+
+Two policies:
+
+- :class:`EveryNSampling` — deterministic 1-in-N by index.  Zero RNG
+  cost, reproducible by construction, streams records to the sink the
+  moment they complete, constant weight ``N``.  The workhorse for
+  sweeps and benches.
+- :class:`ReservoirSampling` — Vitter's Algorithm R with a fixed-size
+  reservoir and a seeded generator (REP002: the seed is explicit,
+  derived through :class:`numpy.random.SeedSequence`).  Holds exactly
+  ``capacity`` records regardless of run length, so memory is bounded
+  a priori; records are only final when the run ends, so they reach the
+  sink at :meth:`~repro.obs.requests.RequestTracer.finalize` time with
+  weight ``seen / len(reservoir)``.
+
+Both exploit the MC's closed loop (at most one access outstanding): the
+keep/skip decision is made at ``on_access`` time, so a skipped access
+costs one counter bump and one comparison — none of the per-hook
+bookkeeping, record construction, or sink serialization.  Algorithm R
+permits this because the admission decision for element ``t`` depends
+only on ``t``, not on the element's value; which reservoir slot it
+evicts is likewise drawn up front.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # circular only for type checkers
+    from repro.obs.requests import RequestRecord
+
+__all__ = [
+    "EveryNSampling",
+    "ReservoirSampling",
+    "SamplingPolicy",
+    "sample_stream",
+]
+
+
+class SamplingPolicy(ABC):
+    """Decides, per access, whether to trace its lifecycle.
+
+    Protocol (driven by :class:`~repro.obs.requests.RequestTracer`):
+
+    1. :meth:`accept` is called once per access, in index order, before
+       any lifecycle bookkeeping.  False means the access is skipped
+       entirely.
+    2. :meth:`commit` is called with the completed record of every
+       accepted access.  It returns the record's inverse-probability
+       weight — or None when the policy must defer (reservoir
+       membership is only final at the end of the stream).
+    3. :meth:`drain` is called once, at finalize time, and yields the
+       deferred ``(record, weight)`` pairs.
+    """
+
+    def __init__(self) -> None:
+        #: Accesses offered to the policy (the full-population size).
+        self.seen = 0
+        #: Accesses accepted for tracing.
+        self.sampled = 0
+
+    def accept(self, index: int) -> bool:
+        """Should the access with this stream index be traced?"""
+        self.seen += 1
+        if self._accept(index):
+            self.sampled += 1
+            return True
+        return False
+
+    @abstractmethod
+    def _accept(self, index: int) -> bool:
+        """Policy-specific keep/skip decision (``seen`` already bumped)."""
+
+    @abstractmethod
+    def commit(self, record: "RequestRecord") -> Optional[float]:
+        """Take ownership of an accepted access's completed record.
+
+        Returns the record's weight when it can be emitted immediately,
+        None when emission is deferred to :meth:`drain`.
+        """
+
+    def drain(self) -> list[tuple["RequestRecord", float]]:
+        """Deferred ``(record, weight)`` pairs; idempotent (once-only)."""
+        return []
+
+    @abstractmethod
+    def describe(self) -> dict:
+        """Provenance dict (policy kind + parameters + counts)."""
+
+
+class EveryNSampling(SamplingPolicy):
+    """Deterministic 1-in-N sampling by access index.
+
+    Keeps the accesses whose index is a multiple of ``n`` (index 0
+    always traced), each standing for ``n`` accesses.  Deterministic
+    given the access stream — two runs of the same seeded simulation
+    sample identical index sets — and needs no RNG at all.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("sampling interval n must be >= 1")
+        super().__init__()
+        self.n = n
+        self._weight = float(n)
+
+    def _accept(self, index: int) -> bool:
+        return index % self.n == 0
+
+    def commit(self, record: "RequestRecord") -> Optional[float]:
+        return self._weight
+
+    def describe(self) -> dict:
+        return {"policy": "every_n", "n": self.n,
+                "seen": self.seen, "sampled": self.sampled}
+
+
+class ReservoirSampling(SamplingPolicy):
+    """Seeded fixed-size uniform reservoir (Vitter's Algorithm R).
+
+    After ``seen`` accesses every access has had probability
+    ``len(reservoir) / seen`` of being in the reservoir, so each kept
+    record weighs ``seen / len(reservoir)``.  The admission test for
+    access ``t`` (``t`` 1-based) is ``U * t < capacity`` with ``U``
+    uniform on [0, 1); the same draw, scaled, picks the evicted slot —
+    both are decided at accept time, which is what lets the tracer skip
+    all bookkeeping for rejected accesses.
+
+    The MC is a closed loop, so at most one accepted access is pending
+    between :meth:`accept` and :meth:`commit`; an access that never
+    completes (engine stall) simply leaves its chosen slot unreplaced.
+
+    Uniform draws are generated in chunks (one :meth:`numpy.random.\
+Generator.random` call per 4096 accesses past the fill phase) so the
+    per-access cost stays a couple of array reads.
+
+    Args:
+        capacity: reservoir size (max records kept).
+        seed: explicit RNG seed, fed through ``SeedSequence`` so nearby
+            integer seeds still give independent streams.
+    """
+
+    _CHUNK = 4096
+
+    def __init__(self, capacity: int, seed: int):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        super().__init__()
+        self.capacity = capacity
+        self.seed = seed
+        self._rng = np.random.default_rng(np.random.SeedSequence(seed))
+        self._records: list["RequestRecord"] = []
+        self._uniforms = np.empty(0)
+        self._cursor = 0
+        #: Reservoir slot the pending accepted access will occupy.
+        self._slot: Optional[int] = None
+        self._drained = False
+
+    def _next_uniform(self) -> float:
+        if self._cursor >= len(self._uniforms):
+            self._uniforms = self._rng.random(self._CHUNK)
+            self._cursor = 0
+        value = self._uniforms[self._cursor]
+        self._cursor += 1
+        return value
+
+    def _accept(self, index: int) -> bool:
+        if self._drained:
+            raise RuntimeError("reservoir already drained")
+        if len(self._records) < self.capacity and self._slot is None:
+            self._slot = len(self._records)
+            return True
+        target = int(self._next_uniform() * self.seen)
+        if target < self.capacity:
+            self._slot = target
+            return True
+        return False
+
+    def commit(self, record: "RequestRecord") -> Optional[float]:
+        slot = self._slot
+        if slot is None:
+            raise RuntimeError("commit without a pending accepted access")
+        self._slot = None
+        if slot == len(self._records):
+            self._records.append(record)
+        else:
+            self._records[slot] = record
+        return None  # membership only final at drain time
+
+    def drain(self) -> list[tuple["RequestRecord", float]]:
+        if self._drained:
+            return []
+        self._drained = True
+        if not self._records:
+            return []
+        weight = self.seen / len(self._records)
+        return [(record, weight)
+                for record in sorted(self._records, key=lambda r: r.index)]
+
+    def describe(self) -> dict:
+        return {"policy": "reservoir", "capacity": self.capacity,
+                "seed": self.seed, "seen": self.seen,
+                "sampled": self.sampled}
+
+
+def sample_stream(records: Iterable["RequestRecord"],
+                  policy: SamplingPolicy
+                  ) -> list[tuple["RequestRecord", float]]:
+    """Replay an already-captured record stream through a policy.
+
+    Offline counterpart of the tracer integration — used to validate a
+    policy against a full trace (the record set a live sampled tracer
+    would have kept is exactly the one this returns, since both key off
+    the access index).  Returns ``(record, weight)`` pairs in stream
+    order for streaming policies, with deferred (reservoir) pairs
+    appended index-sorted at the end.
+    """
+    out: list[tuple["RequestRecord", float]] = []
+    for record in records:
+        if policy.accept(record.index):
+            weight = policy.commit(record)
+            if weight is not None:
+                out.append((record, weight))
+    out.extend(policy.drain())
+    return out

@@ -36,6 +36,31 @@ class Tally:
         if value > self.max:
             self.max = value
 
+    def add_weighted(self, value: float, weight: float) -> None:
+        """Record one observation carrying a frequency weight.
+
+        West's (1979) weighted Welford update: the observation counts as
+        ``weight`` identical samples, so inverse-probability corrected
+        streams (sampled request traces) estimate the full-population
+        mean/variance.  ``count`` becomes the total weight — fractional
+        when weights are — and the n-1 variance denominator is then the
+        usual frequency-weight convention.  This is a separate method
+        (not a ``weight=1`` default on :meth:`add`) so the unweighted
+        path keeps its exact ``delta / count`` rounding: multiplying by
+        ``weight / count`` rounds differently and would break
+        bit-identical unsampled runs.
+        """
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.count += weight
+        delta = value - self._mean
+        self._mean += delta * weight / self.count
+        self._m2 += weight * delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
     def merge(self, other: "Tally") -> None:
         """Fold another tally's observations into this one."""
         if other.count == 0:

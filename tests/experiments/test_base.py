@@ -131,3 +131,71 @@ class TestFigureResult:
         assert data["figure"] == "3a"
         assert data["series"][0]["y"] == [1.0, 1.0]
         assert data["series"][0]["drop_rate"] == [0.25, 0.25]
+
+
+class _Recorder:
+    """Minimal SweepProgress implementation for assertions."""
+
+    def __init__(self):
+        self.started = []
+        self.done = []
+
+    def sweep_started(self, total, label):
+        self.started.append((total, label))
+
+    def replicate_done(self, index, result):
+        self.done.append((index, result.seed))
+
+
+class TestRunSweepStreaming:
+    def test_pooled_results_keep_submission_order(self):
+        # Seeds double as identity: completion order under the pool is
+        # arbitrary, the returned list must not be.
+        seeds = [5, 1, 4, 2, 3]
+        configs = [TINY.apply(small_config(), seed=s) for s in seeds]
+        results = run_sweep(configs, workers=3)
+        assert [r.seed for r in results] == seeds
+
+    def test_failing_replicate_raises_not_hangs(self):
+        from repro.core.fast import SimulationStall
+
+        # max_slots=50 cannot fit settle+measure: the replicate stalls.
+        bad = TINY.apply(small_config(), seed=1).with_(run__max_slots=50)
+        good = TINY.apply(small_config(), seed=2)
+        with pytest.raises(SimulationStall):
+            run_sweep([good, bad, good], workers=2)
+
+    def test_progress_observer_sequential(self):
+        recorder = _Recorder()
+        configs = [TINY.apply(small_config(), seed=s) for s in (1, 2)]
+        run_sweep(configs, progress=recorder, label="curve")
+        assert recorder.started == [(2, "curve")]
+        assert recorder.done == [(0, 1), (1, 2)]
+
+    def test_progress_observer_pooled_sees_every_replicate(self):
+        recorder = _Recorder()
+        seeds = [1, 2, 3, 4]
+        configs = [TINY.apply(small_config(), seed=s) for s in seeds]
+        run_sweep(configs, workers=2, progress=recorder)
+        assert recorder.started == [(4, None)]
+        # Completion order is arbitrary; coverage must be exact.
+        assert sorted(recorder.done) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_ambient_observer_applies_to_nested_sweeps(self):
+        from repro.experiments.base import sweep_progress
+
+        recorder = _Recorder()
+        config = small_config()
+        with sweep_progress(recorder):
+            sweep_series("IPP", [config], [1.0], TINY)
+        assert recorder.started == [(TINY.replicates, "IPP")]
+        assert len(recorder.done) == TINY.replicates
+
+    def test_explicit_observer_shadows_the_ambient_one(self):
+        from repro.experiments.base import sweep_progress
+
+        ambient, explicit = _Recorder(), _Recorder()
+        configs = [TINY.apply(small_config(), seed=1)]
+        with sweep_progress(ambient):
+            run_sweep(configs, progress=explicit)
+        assert not ambient.started and explicit.started == [(1, None)]

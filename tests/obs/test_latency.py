@@ -152,3 +152,28 @@ class TestRunResultQuantiles:
         tally.add(1.0)
         snapshot = TallySnapshot.of(tally)
         assert snapshot.p50 is None and snapshot.p99 is None
+
+
+class TestLatencyHistogramMerge:
+    def test_merged_quantiles_match_pooled_stream(self):
+        import random
+
+        rng = random.Random(5)
+        streams = [[rng.lognormvariate(3.0, 1.2) for _ in range(400)]
+                   for _ in range(3)]
+        pooled = LatencyHistogram("lat")
+        merged = LatencyHistogram("lat")
+        for stream in streams:
+            part = LatencyHistogram("lat")
+            for value in stream:
+                part.observe(value)
+                pooled.observe(value)
+            merged.merge(part)
+        assert merged.count == pooled.count
+        assert merged.quantiles() == pooled.quantiles()
+        assert merged.quantile(0.5) == pytest.approx(pooled.quantile(0.5))
+
+    def test_merge_requires_identical_bucket_ladders(self):
+        coarse = LatencyHistogram("a", buckets=(1.0, 10.0))
+        with pytest.raises(ValueError):
+            LatencyHistogram("b").merge(coarse)

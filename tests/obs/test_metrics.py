@@ -171,3 +171,91 @@ class TestMetricsRegistry:
         # Every factory hands back the same shared no-op object.
         assert registry.counter("other") is counter
         assert NULL_REGISTRY.counter("x") is counter
+
+
+class TestHistogramMerge:
+    def test_merge_matches_pooled_observations(self):
+        left_values = [0.5, 1.0, 3.0, 7.0, 12.0]
+        right_values = [2.0, 4.0, 9.0, 30.0, 100.0, 5000.0]
+        left = Histogram("lat")
+        right = Histogram("lat")
+        pooled = Histogram("lat")
+        for value in left_values:
+            left.observe(value)
+            pooled.observe(value)
+        for value in right_values:
+            right.observe(value)
+            pooled.observe(value)
+        left.merge(right)
+        assert left.counts == pooled.counts
+        assert left.count == pooled.count
+        assert left.mean == pytest.approx(pooled.mean)
+        assert left.stddev == pytest.approx(pooled.stddev)
+        assert left.snapshot()["min"] == pooled.snapshot()["min"]
+        assert left.snapshot()["max"] == pooled.snapshot()["max"]
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert left.quantile(q) == pooled.quantile(q)
+
+    def test_merge_empty_and_into_empty(self):
+        empty = Histogram("lat")
+        full = Histogram("lat")
+        full.observe(2.0)
+        full.merge(Histogram("lat"))  # no-op
+        assert full.count == 1
+        empty.merge(full)
+        assert empty.count == 1 and empty.mean == pytest.approx(2.0)
+
+    def test_mismatched_bounds_raise(self):
+        left = Histogram("a", buckets=(1, 5, 10))
+        right = Histogram("b", buckets=(1, 5))
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            left.merge(right)
+        shifted = Histogram("c", buckets=(1, 5, 20))
+        with pytest.raises(ValueError):
+            left.merge(shifted)
+
+
+class TestWeightedObserve:
+    def test_weighted_observe_equals_repeated_observe(self):
+        weighted = Histogram("lat")
+        repeated = Histogram("lat")
+        weighted.observe(3.0, weight=4)
+        weighted.observe(9.0, weight=2)
+        for _ in range(4):
+            repeated.observe(3.0)
+        for _ in range(2):
+            repeated.observe(9.0)
+        assert weighted.count == repeated.count
+        assert weighted.counts == repeated.counts
+        assert weighted.mean == pytest.approx(repeated.mean)
+        assert weighted.stddev == pytest.approx(repeated.stddev)
+
+    def test_fractional_weights_accumulate(self):
+        hist = Histogram("lat", buckets=(1, 10))
+        hist.observe(0.5, weight=2.5)
+        hist.observe(5.0, weight=2.5)
+        assert hist.count == pytest.approx(5.0)
+        assert hist.mean == pytest.approx(2.75)
+        assert hist.counts[0] == pytest.approx(2.5)
+
+    def test_default_weight_keeps_integer_counts(self):
+        hist = Histogram("lat", buckets=(1,))
+        hist.observe(0.5)
+        assert isinstance(hist.counts[0], int)
+        assert isinstance(hist.count, int)
+
+    def test_weighted_tally_matches_plain_tally(self):
+        weighted = Tally()
+        plain = Tally()
+        for value, repeat in ((2.0, 3), (8.0, 5), (1.0, 2)):
+            weighted.add_weighted(value, repeat)
+            for _ in range(repeat):
+                plain.add(value)
+        assert weighted.count == plain.count
+        assert weighted.mean == pytest.approx(plain.mean)
+        assert weighted.variance == pytest.approx(plain.variance)
+        assert (weighted.min, weighted.max) == (plain.min, plain.max)
+
+    def test_weighted_tally_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            Tally().add_weighted(1.0, 0)

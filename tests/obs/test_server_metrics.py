@@ -1,0 +1,149 @@
+"""ServerMetricsAdapter delta-sync: resets, re-binds, empty snapshots."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server_metrics import ServerMetricsAdapter, bind_server_metrics
+
+
+class _FakeKind:
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __eq__(self, other):
+        return getattr(other, "value", None) == self.value
+
+
+_PUSH, _PULL = _FakeKind("push"), _FakeKind("pull")
+
+
+class _FakeServer:
+    """Stats-snapshot stand-in with directly settable counters."""
+
+    def __init__(self):
+        self.slot_counts = {_PUSH: 0, _PULL: 0}
+        self.queue = dict(enqueued=0, duplicates=0, dropped=0, served=0,
+                          depth=0, capacity=10, drop_rate=0.0)
+        self.schedule_pos = 0
+
+    def stats_snapshot(self):
+        return {
+            "slots": {kind.value: count
+                      for kind, count in self.slot_counts.items()},
+            "queue": dict(self.queue),
+            "schedule_pos": self.schedule_pos,
+        }
+
+
+def _counter(registry, name):
+    return registry.snapshot()[name]["value"]
+
+
+class TestDeltaSync:
+    def test_empty_first_snapshot_registers_zeroed_instruments(self):
+        registry = MetricsRegistry()
+        bind_server_metrics(registry, _FakeServer())
+        snapshot = registry.snapshot()
+        # Eager creation: the full instrument set exists before traffic.
+        assert snapshot["server_slots_push_total"]["value"] == 0
+        assert snapshot["server_requests_served_total"]["value"] == 0
+        assert snapshot["server_queue_capacity"]["value"] == 10
+
+    def test_publishes_deltas_not_absolutes(self):
+        registry = MetricsRegistry()
+        server = _FakeServer()
+        adapter = bind_server_metrics(registry, server)
+        server.slot_counts[_PUSH] = 5
+        adapter.sync()
+        adapter.sync()  # a no-progress sync must not double count
+        assert _counter(registry, "server_slots_push_total") == 5
+        server.slot_counts[_PUSH] = 8
+        adapter.sync()
+        assert _counter(registry, "server_slots_push_total") == 8
+
+    def test_backward_jump_is_treated_as_reset(self):
+        # reset_stats() at the warm-up/measure boundary zeroes the
+        # server's counters; the registry's must keep rising monotonically
+        # with the post-reset value counted as new progress.
+        registry = MetricsRegistry()
+        server = _FakeServer()
+        adapter = bind_server_metrics(registry, server)
+        server.queue["served"] = 100
+        adapter.sync()
+        server.queue["served"] = 7  # reset happened, then 7 more served
+        adapter.sync()
+        assert _counter(registry, "server_requests_served_total") == 107
+        server.queue["served"] = 10
+        adapter.sync()
+        assert _counter(registry, "server_requests_served_total") == 110
+
+    def test_reset_to_zero_then_regrowth(self):
+        registry = MetricsRegistry()
+        server = _FakeServer()
+        adapter = bind_server_metrics(registry, server)
+        server.queue["enqueued"] = 50
+        adapter.sync()
+        server.queue["enqueued"] = 0  # snapshot lands exactly on the reset
+        adapter.sync()
+        assert _counter(registry, "server_requests_enqueued_total") == 50
+        server.queue["enqueued"] = 3
+        adapter.sync()
+        assert _counter(registry, "server_requests_enqueued_total") == 53
+
+    def test_rebind_after_drop_continues_the_same_instruments(self):
+        # A reconnect builds a fresh adapter (fresh server object, fresh
+        # counters) over the same long-lived registry: totals must carry
+        # on from where the old connection left them, not restart or
+        # double count the new server's backlog.
+        registry = MetricsRegistry()
+        first = _FakeServer()
+        adapter = bind_server_metrics(registry, first)
+        first.queue["served"] = 40
+        adapter.sync()
+        # Connection drops; a replacement server starts from zero.
+        second = _FakeServer()
+        adapter = bind_server_metrics(registry, second)
+        second.queue["served"] = 5
+        adapter.sync()
+        assert _counter(registry, "server_requests_served_total") == 45
+
+    def test_gauges_track_current_values_not_deltas(self):
+        registry = MetricsRegistry()
+        server = _FakeServer()
+        adapter = bind_server_metrics(registry, server)
+        server.queue["depth"] = 4
+        server.queue["drop_rate"] = 0.25
+        server.schedule_pos = 17
+        adapter.sync()
+        snapshot = registry.snapshot()
+        assert snapshot["server_queue_depth"]["value"] == 4
+        assert snapshot["server_queue_drop_rate"]["value"] == 0.25
+        assert snapshot["server_schedule_pos"]["value"] == 17
+        server.queue["depth"] = 1
+        adapter.sync()
+        assert registry.snapshot()["server_queue_depth"]["value"] == 1
+
+    def test_two_adapters_with_distinct_prefixes_coexist(self):
+        registry = MetricsRegistry()
+        ServerMetricsAdapter(registry, _FakeServer(), prefix="sim")
+        ServerMetricsAdapter(registry, _FakeServer(), prefix="live")
+        names = registry.names()
+        assert "sim_slots_push_total" in names
+        assert "live_slots_push_total" in names
+
+
+class TestAgainstRealServer:
+    def test_simulated_run_exports_consistent_totals(self):
+        from repro.core.fast import FastEngine
+
+        from tests.conftest import small_config
+
+        engine = FastEngine(small_config())
+        engine.run()
+        registry = MetricsRegistry()
+        bind_server_metrics(registry, engine.state.server)
+        snapshot = engine.state.server.stats_snapshot()
+        for outcome in ("enqueued", "duplicates", "dropped", "served"):
+            assert (_counter(registry, f"server_requests_{outcome}_total")
+                    == snapshot["queue"][outcome])
