@@ -30,7 +30,12 @@ Subcommands:
 - ``program`` — show a broadcast program's layout and analytic delays,
 - ``tune`` — recommend IPP knob settings for a load range,
 - ``lint`` — domain-aware static analysis (determinism, seed discipline,
-  cross-engine parity; see docs/STATIC_ANALYSIS.md).
+  cross-engine parity; see docs/STATIC_ANALYSIS.md),
+- ``sanitize`` — runtime determinism check: replay one configured system
+  twice per engine (including once in a subprocess under a different
+  ``PYTHONHASHSEED``) and diff the slot traces bit-exactly, reporting
+  the first divergent slot (exit 0 deterministic / 1 divergence /
+  2 error).
 """
 
 from __future__ import annotations
@@ -343,6 +348,32 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import add_arguments as add_lint_arguments
 
     add_lint_arguments(lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="runtime determinism check: replay a config per engine and "
+             "diff the slot traces bit-exactly")
+    _add_system_args(sanitize)
+    sanitize.add_argument(
+        "--figure", default=None, metavar="FIG",
+        help="sanitize this figure's representative sweep point instead "
+             "of the --algorithm/--ttr/... knobs")
+    sanitize.add_argument(
+        "--engine", choices=("both", "fast", "reference"), default="both",
+        help="which engine(s) to replay (default: both)")
+    sanitize.add_argument(
+        "--hash-seed", default=None, metavar="SEED",
+        help="PYTHONHASHSEED for the subprocess replay (default: 31337)")
+    sanitize.add_argument(
+        "--no-hashseed", action="store_true",
+        help="skip the subprocess replay (in-process replays only)")
+    sanitize.add_argument(
+        "--inject-divergence", type=int, default=None, metavar="SLOT",
+        help="self-test hook: perturb the in-process replay from SLOT "
+             "onward, proving the diff trips and names the slot")
+    sanitize.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report rendering (default: text)")
 
     return parser
 
@@ -826,6 +857,32 @@ def _cmd_program(args) -> int:
     return 0
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.lint.sanitize import DEFAULT_HASH_SEED, sanitize_config
+
+    if args.no_hashseed and args.hash_seed is not None:
+        print("sanitize: --hash-seed and --no-hashseed are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    config = _system_config(args)
+    engines = (("fast", "reference") if args.engine == "both"
+               else (args.engine,))
+    hash_seed = (None if args.no_hashseed
+                 else args.hash_seed or DEFAULT_HASH_SEED)
+    try:
+        report = sanitize_config(
+            config, engines=engines, hash_seed=hash_seed,
+            inject_divergence=args.inject_divergence)
+    except RuntimeError as exc:
+        print(f"sanitize: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_tune(args) -> int:
     from repro.experiments.base import Profile
     from repro.tuning import TuningSpec, recommend
@@ -876,6 +933,8 @@ def main(argv=None) -> int:
         from repro.lint.cli import run as run_lint_cli
 
         return run_lint_cli(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     return _cmd_program(args)
 
 

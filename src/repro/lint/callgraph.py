@@ -1,0 +1,307 @@
+"""Project-level import/call graph over scanned modules.
+
+Builds on :mod:`repro.lint.scopes`: every parsed file gets a
+:class:`ModuleInfo` (scope table + top-level functions/classes keyed by
+qualname), and :class:`CallGraph` links them through imports so rules can
+resolve a call expression to the function it lands on — across module
+boundaries, through aliases, and through ``Class(...)`` construction
+(resolved to ``__init__``) or ``self.method(...)`` dispatch.
+
+Module identity is matched by *dotted suffix*: when the scan root is
+``src/repro``, the file ``core/build.py`` has dotted name ``core.build``
+and an import of ``repro.core.build`` resolves to it.  Ambiguous
+suffixes resolve to nothing — rules built on this layer must degrade to
+"unknown", never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.lint.scopes import (
+    ASYNC_FUNCTION,
+    BIND_CLASS,
+    BIND_DEF,
+    BIND_IMPORT,
+    CLASS,
+    FUNCTION,
+    Scope,
+    ScopeTable,
+    table_for,
+)
+from repro.lint.source import Project, SourceFile
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "CallGraph",
+           "BoundArg"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionInfo:
+    """A module-level function or a method, addressable by qualname."""
+
+    module: "ModuleInfo"
+    qualname: str
+    node: FunctionNode
+    scope: Scope
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Stable index key (module dotted name, qualname)."""
+        return (self.module.dotted, self.qualname)
+
+
+@dataclass
+class ClassInfo:
+    """A module-level class and its directly defined methods."""
+
+    module: "ModuleInfo"
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: its scope table plus an addressable API."""
+
+    source: SourceFile
+    dotted: str
+    table: ScopeTable
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: id(def node) -> FunctionInfo, for resolving local "def" bindings.
+    _by_node: dict[int, FunctionInfo] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, source: SourceFile) -> "ModuleInfo":
+        assert source.tree is not None
+        table = table_for(source)
+        rel = source.rel[:-3] if source.rel.endswith(".py") else source.rel
+        if rel.endswith("/__init__"):
+            rel = rel[: -len("/__init__")]
+        info = cls(source=source, dotted=rel.replace("/", "."), table=table)
+        for child in table.module.children:
+            if child.kind in (FUNCTION, ASYNC_FUNCTION):
+                info._add_function(child, class_name=None)
+            elif child.kind == CLASS and isinstance(child.node,
+                                                    ast.ClassDef):
+                klass = ClassInfo(module=info, name=child.name,
+                                  node=child.node)
+                info.classes[child.name] = klass
+                for member in child.children:
+                    if member.kind in (FUNCTION, ASYNC_FUNCTION):
+                        func = info._add_function(member,
+                                                  class_name=child.name)
+                        klass.methods[func.node.name] = func
+        return info
+
+    def _add_function(self, scope: Scope,
+                      class_name: Optional[str]) -> FunctionInfo:
+        node = scope.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        qualname = (f"{class_name}.{node.name}" if class_name
+                    else node.name)
+        func = FunctionInfo(module=self, qualname=qualname, node=node,
+                            scope=scope, class_name=class_name)
+        self.functions[qualname] = func
+        self._by_node[id(node)] = func
+        return func
+
+    def function_of(self, node: ast.AST) -> Optional[FunctionInfo]:
+        """The FunctionInfo for a def node, when it is one we indexed."""
+        return self._by_node.get(id(node))
+
+    def enclosing_function_info(self,
+                                node: ast.AST) -> Optional[FunctionInfo]:
+        """The indexed function whose body contains ``node``, if any."""
+        scope = self.table.enclosing_function(node)
+        while scope is not None:
+            info = self._by_node.get(id(scope.node))
+            if info is not None:
+                return info
+            parent = scope.parent
+            scope = None
+            while parent is not None:
+                if parent.kind in (FUNCTION, ASYNC_FUNCTION):
+                    scope = parent
+                    break
+                parent = parent.parent
+        return None
+
+
+@dataclass(frozen=True)
+class BoundArg:
+    """One parameter's value at a specific call site."""
+
+    param: str
+    #: The argument (or default) expression, None when nothing visible
+    #: binds the parameter (``*args`` spreads, missing required arg...).
+    value: Optional[ast.AST]
+    #: True when ``value`` is the callee's default expression — it then
+    #: evaluates in the *callee's* module, not the caller's.
+    from_default: bool = False
+
+
+class CallGraph:
+    """Cross-module call resolution over every parsed file in a scan."""
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules = modules
+        self._by_dotted: dict[str, ModuleInfo] = {
+            m.dotted: m for m in modules}
+        #: (module dotted, qualname) -> [(caller module, call node), ...]
+        self._call_sites: dict[tuple[str, str],
+                               list[tuple[ModuleInfo, ast.Call]]] = {}
+        self._index_call_sites()
+
+    @classmethod
+    def of(cls, project: Project) -> "CallGraph":
+        return cls([ModuleInfo.of(f) for f in project.files
+                    if f.tree is not None])
+
+    # -- module resolution ----------------------------------------------------
+    def find_module(self, dotted: str) -> Optional[ModuleInfo]:
+        """Module whose dotted name matches ``dotted`` by suffix.
+
+        ``repro.core.build`` matches a scan-local ``core.build``;
+        ambiguity (several modules share the suffix) resolves to None.
+        """
+        exact = self._by_dotted.get(dotted)
+        if exact is not None:
+            return exact
+        matches = [m for m in self.modules
+                   if dotted.endswith("." + m.dotted)
+                   or m.dotted.endswith("." + dotted)]
+        return matches[0] if len(matches) == 1 else None
+
+    def resolve_dotted(self, dotted: str) -> Optional[FunctionInfo]:
+        """Function/class reached by a canonical dotted path, if local.
+
+        ``repro.core.build.build_system`` -> that function's info;
+        a class path resolves to its ``__init__`` when defined.
+        """
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = self.find_module(".".join(parts[:split]))
+            if module is None:
+                continue
+            attrs = parts[split:]
+            if len(attrs) == 1:
+                func = module.functions.get(attrs[0])
+                if func is not None:
+                    return func
+                klass = module.classes.get(attrs[0])
+                if klass is not None:
+                    return klass.methods.get("__init__")
+            elif len(attrs) == 2:
+                klass = module.classes.get(attrs[0])
+                if klass is not None:
+                    return klass.methods.get(attrs[1])
+            return None
+        return None
+
+    # -- call resolution ------------------------------------------------------
+    def resolve_call(self, module: ModuleInfo,
+                     call: ast.Call) -> Optional[FunctionInfo]:
+        """The scanned function a call lands on, when provable."""
+        func = call.func
+        table = module.table
+        if isinstance(func, ast.Name):
+            for binding in table.lookup(table.scope_of(func), func.id):
+                if binding.kind == BIND_DEF:
+                    resolved = module.function_of(binding.node)
+                    if resolved is not None:
+                        return resolved
+                elif binding.kind == BIND_CLASS:
+                    klass = module.classes.get(binding.name)
+                    if klass is not None:
+                        return klass.methods.get("__init__")
+                elif (binding.kind == BIND_IMPORT
+                      and binding.import_target is not None):
+                    return self.resolve_dotted(binding.import_target)
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.method(...) inside a class body.
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in ("self", "cls")):
+                owner = module.enclosing_function_info(call)
+                if owner is not None and owner.class_name is not None:
+                    klass = module.classes.get(owner.class_name)
+                    if klass is not None:
+                        return klass.methods.get(func.attr)
+                return None
+            canonical = table.canonical(func)
+            if canonical is not None:
+                return self.resolve_dotted(canonical)
+        return None
+
+    # -- call-site index ------------------------------------------------------
+    def _index_call_sites(self) -> None:
+        for module in self.modules:
+            tree = module.source.tree
+            assert tree is not None
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Call):
+                    target = self.resolve_call(module, node)
+                    if target is not None:
+                        self._call_sites.setdefault(target.key, []).append(
+                            (module, node))
+
+    def call_sites(self, func: FunctionInfo
+                   ) -> list[tuple[ModuleInfo, ast.Call]]:
+        """Every resolved call of ``func`` across the scan."""
+        return self._call_sites.get(func.key, [])
+
+    # -- argument binding -----------------------------------------------------
+    def bind_args(self, func: FunctionInfo,
+                  call: ast.Call) -> Iterator[BoundArg]:
+        """Map a call's arguments onto the callee's parameters.
+
+        Yields one :class:`BoundArg` per named parameter.  ``*args`` /
+        ``**kwargs`` spreads at the call site make positional binding
+        unreliable, so every parameter at or after a Starred argument
+        binds to None (unknown).
+        """
+        args = func.node.args
+        params = [a.arg for a in (*args.posonlyargs, *args.args)]
+        if func.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        defaults: dict[str, ast.AST] = {}
+        for param, default in zip(reversed(params),
+                                  reversed(args.defaults)):
+            defaults[param] = default
+        for arg_node, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                defaults[arg_node.arg] = default
+        bound: dict[str, Optional[ast.AST]] = {}
+        spread = False
+        for index, value in enumerate(call.args):
+            if isinstance(value, ast.Starred):
+                spread = True
+            if index < len(params):
+                bound[params[index]] = None if spread else value
+        if spread:
+            for param in params[len(call.args):]:
+                bound[param] = None
+        double_spread = any(kw.arg is None for kw in call.keywords)
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bound[keyword.arg] = keyword.value
+        all_params = params + [a.arg for a in args.kwonlyargs]
+        for param in all_params:
+            if param in bound:
+                yield BoundArg(param=param, value=bound[param])
+            elif param in defaults and not double_spread:
+                yield BoundArg(param=param, value=defaults[param],
+                               from_default=True)
+            else:
+                yield BoundArg(param=param, value=None)

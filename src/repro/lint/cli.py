@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence, TextIO
@@ -62,6 +63,16 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-config", action="store_true",
         help="ignore any [tool.repro-lint] configuration")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parse files and run per-file rules across N worker "
+             "processes (default: the machine's CPU count; project "
+             "rules always run single-pass afterwards)")
+    parser.add_argument(
+        "--no-unused-pragma", action="store_true",
+        help="skip the LINT001 unused-exemption check (use for "
+             "partial-tree scans where pragmas may legitimately match "
+             "nothing)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rules and exit")
@@ -134,10 +145,18 @@ def run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
 
+    jobs = args.jobs
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    elif jobs < 1:
+        print("lint: --jobs must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+
     paths = list(args.paths) or _default_paths()
     try:
         result = run_lint(paths, select=select, baseline=baseline,
-                          config=config)
+                          config=config, jobs=jobs,
+                          unused_pragmas=not args.no_unused_pragma)
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return EXIT_USAGE

@@ -86,27 +86,58 @@ class LintConfig:
         """Is ``rule`` exempted for the root-relative path ``rel``?"""
         return any(entry.matches(rel, rule) for entry in self.allows)
 
+    def _anchored(self, path: Optional[Path]) -> Optional[str]:
+        """``path`` relative to the config file's directory, if under it."""
+        if path is None or self.source is None:
+            return None
+        try:
+            return path.resolve().relative_to(
+                self.source.parent.resolve()).as_posix()
+        except ValueError:
+            return None
+
+    def matching_entry(self, path: Optional[Path], rel: str,
+                       rule: str) -> Optional[AllowEntry]:
+        """The first entry exempting ``rule`` for this file, if any.
+
+        Matches both the scan-root-relative ``rel`` and ``path`` relative
+        to the config file's own directory: ``net/*.py`` must exempt
+        ``src/repro/net/client.py`` no matter whether the scan root was
+        the repo, ``src/repro``, or ``src/repro/net`` itself — the
+        scan-root-relative ``rel`` alone cannot provide that (scanning
+        ``net/`` directly yields the bare basename), but the
+        config-relative path is root-independent.
+        """
+        for entry in self.allows:
+            if entry.matches(rel, rule):
+                return entry
+        anchored = self._anchored(path)
+        if anchored is not None and anchored != rel:
+            for entry in self.allows:
+                if entry.matches(anchored, rule):
+                    return entry
+        return None
+
     def allowed_file(self, path: Optional[Path], rel: str,
                      rule: str) -> bool:
         """Like :meth:`allowed`, also matching ``path`` relative to the
-        config file's own directory.
+        config file's own directory (see :meth:`matching_entry`)."""
+        return self.matching_entry(path, rel, rule) is not None
 
-        ``net/*.py`` must exempt ``src/repro/net/client.py`` no matter
-        whether the scan root was the repo, ``src/repro``, or
-        ``src/repro/net`` itself — the scan-root-relative ``rel`` alone
-        cannot provide that (scanning ``net/`` directly yields the bare
-        basename), but the config-relative path is root-independent.
+    def entry_covers(self, entry: AllowEntry, path: Optional[Path],
+                     rel: str) -> bool:
+        """Pattern-only test: does ``entry.path`` match this file at all?
+
+        Used by the unused-exemption check (LINT001) to decide whether a
+        config entry was even *in scope* for the scanned file set —
+        entries whose pattern matches no scanned file are ignored rather
+        than reported, so partial-tree scans don't cry wolf.
         """
-        if self.allowed(rel, rule):
+        if PurePosixPath(rel).match(entry.path):
             return True
-        if path is None or self.source is None:
-            return False
-        try:
-            anchored = path.resolve().relative_to(
-                self.source.parent.resolve()).as_posix()
-        except ValueError:
-            return False
-        return anchored != rel and self.allowed(anchored, rule)
+        anchored = self._anchored(path)
+        return (anchored is not None
+                and PurePosixPath(anchored).match(entry.path))
 
 
 #: The no-configuration configuration.

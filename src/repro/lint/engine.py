@@ -6,6 +6,22 @@ selected file rules per module and project rules over the whole set,
 drops findings suppressed by inline allow-pragmas or by the path-scoped
 ``[tool.repro-lint]`` configuration (see :mod:`repro.lint.config`), and
 splits the rest against an optional :class:`~repro.lint.baseline.Baseline`.
+
+Two engine-emitted pseudo-rules ride along:
+
+- ``LINT000`` — parse failures and malformed pragmas;
+- ``LINT001`` — *unused* exemptions: an allow-pragma (or an in-scope
+  ``[[tool.repro-lint.allow]]`` entry) that suppressed nothing this
+  scan.  Exemption sets rot as rules and code evolve; flagging dead ones
+  keeps the audit trail honest.  Disabled via ``unused_pragmas=False``
+  (CLI ``--no-unused-pragma``) for partial-tree scans.
+
+The per-file map step is embarrassingly parallel: ``jobs > 1`` fans file
+parsing + file rules out over a process pool, then runs project rules
+single-pass over the merged result.  Findings are fully sorted by
+``(path, line, rule, message)`` before baseline fingerprinting and
+rendering, so worker scheduling and dict order can never reorder reports
+or churn baselines.
 """
 
 from __future__ import annotations
@@ -17,7 +33,13 @@ from typing import Optional, Sequence
 from repro.lint.baseline import Baseline
 from repro.lint.config import EMPTY_CONFIG, LintConfig, discover_lint_config
 from repro.lint.findings import Finding
-from repro.lint.rules import PRAGMA_RULE_ID, REGISTRY, FileRule, ProjectRule
+from repro.lint.rules import (
+    PRAGMA_RULE_ID,
+    REGISTRY,
+    UNUSED_PRAGMA_RULE_ID,
+    FileRule,
+    ProjectRule,
+)
 from repro.lint.source import Project, SourceFile, load_source
 
 __all__ = ["LintResult", "run_lint", "collect_files"]
@@ -102,16 +124,73 @@ def _select_rules(select: Optional[Sequence[str]]) -> list[str]:
     return sorted(set(select))
 
 
+def _scan_batch(batch: Sequence[tuple[Path, str]],
+                known: frozenset[str],
+                rule_ids: Sequence[str],
+                ) -> list[tuple[SourceFile, list[Finding]]]:
+    """Parse one batch of files and run the file rules on each.
+
+    Top-level (picklable) so it can run inside a process-pool worker;
+    the lazily cached scope table is stripped before the SourceFile
+    crosses back to the parent, since its identity-keyed node maps do
+    not survive pickling.
+    """
+    results: list[tuple[SourceFile, list[Finding]]] = []
+    for path, rel in batch:
+        source = load_source(path, rel, known)
+        findings: list[Finding] = []
+        if source.tree is not None:
+            for rule_id in rule_ids:
+                rule = REGISTRY[rule_id]
+                if isinstance(rule, FileRule):
+                    findings.extend(rule.check(source))
+        source.__dict__.pop("_scope_table", None)
+        results.append((source, findings))
+    return results
+
+
+def _scan_files(files: Sequence[tuple[Path, str]],
+                known: frozenset[str],
+                rule_ids: Sequence[str],
+                jobs: Optional[int],
+                ) -> list[tuple[SourceFile, list[Finding]]]:
+    """The map step: serial, or fanned out over a process pool."""
+    workers = min(jobs or 1, len(files))
+    if workers <= 1 or len(files) < 2:
+        return _scan_batch(files, known, rule_ids)
+    # Contiguous chunks keep the merged order identical to a serial run
+    # (the final sort makes ordering cosmetic, but determinism is free).
+    from concurrent.futures import ProcessPoolExecutor
+
+    chunk = (len(files) + workers - 1) // workers
+    batches = [files[start:start + chunk]
+               for start in range(0, len(files), chunk)]
+    results: list[tuple[SourceFile, list[Finding]]] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for part in pool.map(_scan_batch, batches,
+                             [known] * len(batches),
+                             [rule_ids] * len(batches)):
+            results.extend(part)
+    return results
+
+
 def run_lint(paths: Sequence[Path],
              select: Optional[Sequence[str]] = None,
              baseline: Optional[Baseline] = None,
-             config: Optional[LintConfig] = None) -> LintResult:
+             config: Optional[LintConfig] = None,
+             jobs: Optional[int] = None,
+             unused_pragmas: bool = True) -> LintResult:
     """Analyze ``paths`` with the selected rules (default: all).
 
     ``config`` scopes rule exemptions to path patterns; None (the
     default) auto-discovers the nearest ``pyproject.toml`` with a
     ``[tool.repro-lint]`` section above the first scanned path — pass
     :data:`~repro.lint.config.EMPTY_CONFIG` to disable.
+
+    ``jobs`` > 1 parallelizes file parsing and per-file rules over a
+    process pool (project rules still run single-pass afterwards).
+    ``unused_pragmas=False`` disables the LINT001 unused-exemption
+    check.
 
     Raises FileNotFoundError for missing paths, KeyError for unknown
     rule ids, and :class:`~repro.lint.config.LintConfigError` for a
@@ -122,13 +201,14 @@ def run_lint(paths: Sequence[Path],
     if config is None:
         config = (discover_lint_config(Path(paths[0])) if paths
                   else EMPTY_CONFIG)
-    known = frozenset(REGISTRY) | {PRAGMA_RULE_ID}
-    sources = [load_source(path, rel, known)
-               for path, rel in collect_files(paths)]
+    known = (frozenset(REGISTRY)
+             | {PRAGMA_RULE_ID, UNUSED_PRAGMA_RULE_ID})
+    scanned = _scan_files(collect_files(paths), known, rule_ids, jobs)
+    sources = [source for source, _ in scanned]
     project = Project(files=sources)
 
     raw: list[Finding] = []
-    for source in sources:
+    for source, file_findings in scanned:
         if source.parse_error is not None:
             raw.append(Finding(
                 path=source.rel, line=0, rule=PRAGMA_RULE_ID,
@@ -142,40 +222,103 @@ def run_lint(paths: Sequence[Path],
                 message=error.message,
                 hint="write '# lint: allow[RULE,...] -- rationale' with "
                      "registered rule ids and a justification"))
+        raw.extend(file_findings)
 
     for rule_id in rule_ids:
         rule = REGISTRY[rule_id]
-        if isinstance(rule, FileRule):
-            for source in sources:
-                if source.tree is not None:
-                    raw.extend(rule.check(source))
-        elif isinstance(rule, ProjectRule):
+        if isinstance(rule, ProjectRule):
             raw.extend(rule.check_project(project))
 
     by_rel = {source.rel: source for source in sources}
+    engine_rules = (PRAGMA_RULE_ID, UNUSED_PRAGMA_RULE_ID)
     kept: list[Finding] = []
     suppressed = 0
     config_allowed = 0
+    used_pragmas: set[int] = set()
+    used_entries: set[int] = set()
     for finding in raw:
         source = by_rel.get(finding.path)
-        if (finding.rule != PRAGMA_RULE_ID and source is not None
-                and source.allows(finding.rule, finding.line)):
-            suppressed += 1
-            continue
-        if (finding.rule != PRAGMA_RULE_ID
-                and config.allowed_file(
-                    source.path if source is not None else None,
-                    finding.path, finding.rule)):
-            config_allowed += 1
-            continue
+        if finding.rule not in engine_rules and source is not None:
+            matched = source.allowing(finding.rule, finding.line)
+            if matched:
+                used_pragmas.update(id(p) for p in matched)
+                suppressed += 1
+                continue
+        if finding.rule not in engine_rules:
+            entry = config.matching_entry(
+                source.path if source is not None else None,
+                finding.path, finding.rule)
+            if entry is not None:
+                used_entries.add(id(entry))
+                config_allowed += 1
+                continue
         kept.append(finding)
+
+    if unused_pragmas:
+        kept.extend(_unused_exemptions(
+            sources, config, frozenset(rule_ids),
+            used_pragmas, used_entries))
+
+    # Full deterministic order before fingerprinting and rendering —
+    # worker scheduling and dict order must never churn a baseline.
     kept.sort()
 
     if baseline is not None:
-        new, matched = baseline.apply(kept)
+        new, matched_findings = baseline.apply(kept)
     else:
-        new, matched = kept, []
-    return LintResult(findings=new, baselined=matched,
+        new, matched_findings = kept, []
+    return LintResult(findings=new, baselined=matched_findings,
                       suppressed=suppressed, config_allowed=config_allowed,
                       files_scanned=len(sources),
                       rules=rule_ids)
+
+
+def _unused_exemptions(sources: Sequence[SourceFile],
+                       config: LintConfig,
+                       ran: frozenset[str],
+                       used_pragmas: set[int],
+                       used_entries: set[int]) -> list[Finding]:
+    """LINT001 findings for exemptions that suppressed nothing.
+
+    A pragma (or config entry) is only reported when *every* rule it
+    names actually ran — a ``--select`` subset must not condemn
+    exemptions belonging to rules that sat the scan out.  Config entries
+    are additionally required to be in scope: their path pattern must
+    match at least one scanned file, so linting a sibling subtree does
+    not flag entries for the rest of the repo.
+    """
+    findings: list[Finding] = []
+    for source in sources:
+        for pragma in source.pragmas:
+            if id(pragma) in used_pragmas or not pragma.rules <= ran:
+                continue
+            rules = ",".join(sorted(pragma.rules))
+            findings.append(Finding(
+                path=source.rel, line=pragma.line,
+                rule=UNUSED_PRAGMA_RULE_ID,
+                message=f"allow-pragma for {rules} suppressed nothing "
+                        f"in this scan",
+                hint="delete the stale pragma (or re-run with "
+                     "--no-unused-pragma if this is a partial-tree "
+                     "scan)"))
+    if config.defined and config.source is not None:
+        config_rel = config.source.name
+        for entry in config.allows:
+            if id(entry) in used_entries or not entry.rules <= ran:
+                continue
+            in_scope = any(
+                config.entry_covers(entry, source.path, source.rel)
+                for source in sources)
+            if not in_scope:
+                continue
+            rules = ",".join(sorted(entry.rules))
+            findings.append(Finding(
+                path=config_rel, line=0,
+                rule=UNUSED_PRAGMA_RULE_ID,
+                message=f"[[tool.repro-lint.allow]] entry "
+                        f"(path='{entry.path}', rules={rules}) "
+                        f"suppressed nothing in this scan",
+                hint="delete the stale config entry (or re-run with "
+                     "--no-unused-pragma if this is a partial-tree "
+                     "scan)"))
+    return findings

@@ -8,10 +8,21 @@ Rule inventory (ids are stable, documented in docs/STATIC_ANALYSIS.md):
 - ``REP004`` config-parity     — config fields reach both engines
 - ``REP005`` event-registry    — event names come from obs/events.py
 - ``REP006`` hook-symmetry     — both engines drive the same tracer hooks
+- ``REP007`` fire-and-forget-task — create_task handles must be kept alive
+- ``REP008`` blocking-in-async — no loop-blocking calls in async def
+- ``REP009`` await-point-hazard — no blind self-state writes across awaits
+- ``REP010`` seed-flow         — seeds must trace to config, not entropy
 - ``LINT000``                  — reserved: malformed allow-pragmas
+- ``LINT001``                  — reserved: unused allow-pragmas/config entries
 """
 
-from repro.lint.rules import determinism, events, parity, simtime  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    asyncio_rules,
+    determinism,
+    events,
+    parity,
+    simtime,
+)
 from repro.lint.rules.base import (
     REGISTRY,
     FileRule,
@@ -24,3 +35,6 @@ __all__ = ["REGISTRY", "Rule", "FileRule", "ProjectRule", "register"]
 
 #: Rule id reserved for pragma-syntax findings emitted by the engine.
 PRAGMA_RULE_ID = "LINT000"
+
+#: Rule id reserved for unused-exemption findings emitted by the engine.
+UNUSED_PRAGMA_RULE_ID = "LINT001"

@@ -1,0 +1,334 @@
+"""REP007/REP008/REP009 — asyncio concurrency hazards.
+
+The serving layer (``repro.net``) runs the slot clock, per-connection
+senders, and the client fleet as cooperating tasks on one event loop.
+Three bug classes silently corrupt that arrangement:
+
+- **REP007 fire-and-forget tasks**: ``asyncio.create_task`` whose handle
+  is never stored, awaited, or otherwise named.  CPython keeps only a
+  weak reference to running tasks, so an unreferenced task can be
+  garbage-collected mid-flight — the exact race PR 6 fixed by hand in
+  ``client.py`` by parking handles on the client object.
+- **REP008 blocking calls inside ``async def``**: ``time.sleep``, sync
+  subprocess/socket/DNS calls, and blocking file I/O stall the entire
+  loop, starving the slot clock and bending measured latency curves.
+- **REP009 await-point hazards**: writing ``self.``-state both before
+  and after an ``await`` without re-reading it in between.  The await is
+  a scheduling point — another task (the slot clock vs. a sender) may
+  have moved the state, and blindly completing a read-modify-write
+  planned before the suspension loses that update.
+
+All three build on the scope layer (:mod:`repro.lint.scopes`) rather
+than raw syntax: shadowed builtins don't fire, and task handles bound to
+locals count as *stored* only when some load actually reaches them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileRule, register
+from repro.lint.scopes import ASYNC_FUNCTION, Scope, ScopeTable, table_for
+from repro.lint.source import SourceFile
+
+__all__ = ["FireAndForgetRule", "BlockingInAsyncRule", "AwaitHazardRule"]
+
+#: Canonical spawners returning a Task that must be kept alive.
+_SPAWNERS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+#: Canonical calls that block the running event loop.
+_BLOCKING = {
+    "time.sleep": "use 'await asyncio.sleep(...)' instead",
+    "subprocess.run": "use 'await asyncio.create_subprocess_exec(...)'",
+    "subprocess.call": "use 'await asyncio.create_subprocess_exec(...)'",
+    "subprocess.check_call":
+        "use 'await asyncio.create_subprocess_exec(...)'",
+    "subprocess.check_output":
+        "use 'await asyncio.create_subprocess_exec(...)'",
+    "os.system": "use 'await asyncio.create_subprocess_shell(...)'",
+    "os.popen": "use 'await asyncio.create_subprocess_shell(...)'",
+    "os.wait": "use asyncio subprocess APIs",
+    "socket.create_connection": "use 'await asyncio.open_connection(...)'",
+    "socket.getaddrinfo": "use 'await loop.getaddrinfo(...)'",
+    "socket.gethostbyname": "use 'await loop.getaddrinfo(...)'",
+    "socket.gethostbyaddr": "use 'await loop.getaddrinfo(...)'",
+    "urllib.request.urlopen": "run it in a thread via asyncio.to_thread",
+}
+
+#: Builtins that block on the console / filesystem when unshadowed.
+_BLOCKING_BUILTINS = {
+    "input": "reading stdin blocks the loop; use a thread or protocol",
+    "open": ("synchronous file I/O on the loop thread; move it off the "
+             "hot path or run via asyncio.to_thread"),
+}
+
+
+def _spawner_canonical(table: ScopeTable,
+                       call: ast.Call) -> Optional[str]:
+    """Canonical name when ``call`` spawns a Task, else None.
+
+    Resolves ``asyncio.create_task``/``ensure_future`` through imports;
+    also accepts the ``loop.create_task(...)`` idiom (receiver named
+    like an event loop), which the import table cannot see through.
+    """
+    canonical = table.canonical(call.func)
+    if canonical in _SPAWNERS:
+        return canonical
+    if (isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("create_task", "ensure_future")
+            and isinstance(call.func.value, ast.Name)
+            and "loop" in call.func.value.id):
+        return f"{call.func.value.id}.{call.func.attr}"
+    return None
+
+
+@register
+class FireAndForgetRule(FileRule):
+    """REP007 — every spawned Task handle must be stored or awaited."""
+
+    id = "REP007"
+    name = "fire-and-forget-task"
+    summary = ("asyncio.create_task handles must be stored, awaited, or "
+               "collected — unreferenced Tasks can be garbage-collected "
+               "mid-flight")
+    hint = ("keep the handle alive (self.task = ..., a task set, await, "
+            "or TaskGroup); if the task is intentionally detached, add "
+            "'# lint: allow[REP007] -- <why>'")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        table = table_for(source)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _spawner_canonical(table, node)
+            if canonical is None:
+                continue
+            verdict = self._discarded(table, node)
+            if verdict is not None:
+                yield self.finding(
+                    source, node.lineno,
+                    f"{canonical}(...) {verdict}")
+
+    def _discarded(self, table: ScopeTable,
+                   call: ast.Call) -> Optional[str]:
+        """Reason string when the Task handle is provably dropped."""
+        parent = table.parent_of(call)
+        if isinstance(parent, ast.Expr):
+            return ("result is discarded — the Task may be "
+                    "garbage-collected before it finishes")
+        if isinstance(parent, ast.Assign) and parent.value is call:
+            # Stored somewhere persistent (attribute, subscript, tuple)?
+            names = []
+            for target in parent.targets:
+                if isinstance(target, ast.Name):
+                    names.append(target)
+                else:
+                    return None  # attribute/subscript/tuple: stored
+            for target in names:
+                scope = table.scope_of(target)
+                owner = table.resolving_scope(scope, target.id) or scope
+                if table.loads_resolving_to(owner, target.id):
+                    return None
+            only = names[0].id
+            return (f"handle '{only}' is assigned but never read — the "
+                    f"Task may be garbage-collected before it finishes")
+        return None  # awaited, passed along, comprehension element, ...
+
+
+@register
+class BlockingInAsyncRule(FileRule):
+    """REP008 — no loop-blocking calls inside ``async def``."""
+
+    id = "REP008"
+    name = "blocking-in-async"
+    summary = ("forbid blocking calls (time.sleep, sync subprocess/"
+               "socket/file I/O) inside async def bodies")
+    hint = ("blocking the loop thread stalls the slot clock and every "
+            "other task; use the asyncio-native equivalent or "
+            "asyncio.to_thread")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        table = table_for(source)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not table.in_async_function(node):
+                continue
+            canonical = table.canonical(node.func)
+            if canonical in _BLOCKING:
+                yield self.finding(
+                    source, node.lineno,
+                    f"blocking call to {canonical} inside async def "
+                    f"({_BLOCKING[canonical]})")
+                continue
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in _BLOCKING_BUILTINS
+                    and not table.lookup(table.scope_of(node.func),
+                                         node.func.id)):
+                yield self.finding(
+                    source, node.lineno,
+                    f"blocking call to builtin {node.func.id}() inside "
+                    f"async def ({_BLOCKING_BUILTINS[node.func.id]})")
+
+
+# -- REP009: await-point hazard ----------------------------------------------
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: One linearized event inside an async function body.
+#: kind is "read", "write", or "await"; attr is the self-attribute name
+#: (empty for awaits); path is the enclosing-branch trail.
+_Event = tuple[str, str, int, tuple[tuple[int, int], ...]]
+
+
+def _compatible(left: tuple[tuple[int, int], ...],
+                right: tuple[tuple[int, int], ...]) -> bool:
+    """False when the two events sit in sibling branches of one ``if``."""
+    choices = dict(left)
+    for node_id, branch in right:
+        if choices.get(node_id, branch) != branch:
+            return False
+    return True
+
+
+class _AsyncBodyScanner:
+    """Linearize self-state reads/writes and awaits in source order."""
+
+    def __init__(self) -> None:
+        self.events: list[_Event] = []
+        self._path: list[tuple[int, int]] = []
+
+    def scan(self, node: FunctionNode) -> list[_Event]:
+        for stmt in node.body:
+            self._visit(stmt)
+        return self.events
+
+    def _emit(self, kind: str, attr: str, line: int) -> None:
+        self.events.append((kind, attr, line, tuple(self._path)))
+
+    def _self_attr(self, node: ast.AST) -> Optional[ast.Attribute]:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node
+        return None
+
+    def _visit(self, node: ast.AST) -> None:
+        # Nested defs run on their own schedule; stop at their boundary.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Await):
+            self._visit(node.value)
+            self._emit("await", "", node.lineno)
+            return
+        if isinstance(node, ast.If):
+            self._visit(node.test)
+            self._path.append((id(node), 0))
+            for stmt in node.body:
+                self._visit(stmt)
+            self._path[-1] = (id(node), 1)
+            for stmt in node.orelse:
+                self._visit(stmt)
+            self._path.pop()
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            # The RHS evaluates before the store: visit it first so a
+            # re-read in the value lands before the write event.
+            if node.value is not None:
+                self._visit(node.value)
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                self._visit(target)
+            return
+        attr = self._self_attr(node)
+        if attr is not None:
+            if isinstance(attr.ctx, ast.Load):
+                self._emit("read", attr.attr, attr.lineno)
+            elif isinstance(attr.ctx, ast.Store):
+                self._emit("write", attr.attr, attr.lineno)
+            else:  # Del
+                self._emit("write", attr.attr, attr.lineno)
+            return
+        if isinstance(node, ast.AugAssign):
+            target = self._self_attr(node.target)
+            if target is not None:
+                self._visit(node.value)
+                # x += v both re-reads and rewrites: emit both.
+                self._emit("read", target.attr, node.lineno)
+                self._emit("write", target.attr, node.lineno)
+                return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+
+@register
+class AwaitHazardRule(FileRule):
+    """REP009 — self-state mutated across an await without a re-read."""
+
+    id = "REP009"
+    name = "await-point-hazard"
+    summary = ("mutating self.-state both before and after an await "
+               "without re-reading it loses concurrent updates made "
+               "while suspended")
+    hint = ("re-read the attribute after the await (or mutate with "
+            "'self.x += ...'), since another task may have advanced it "
+            "during the suspension")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        table = table_for(source)
+        for scope in table.module.walk():
+            if scope.kind != ASYNC_FUNCTION:
+                continue
+            node = scope.node
+            assert isinstance(node, ast.AsyncFunctionDef)
+            yield from self._check_function(source, scope, node)
+
+    def _check_function(self, source: SourceFile, scope: Scope,
+                        node: ast.AsyncFunctionDef) -> Iterator[Finding]:
+        events = _AsyncBodyScanner().scan(node)
+        reported: set[str] = set()
+        for first_index, first in enumerate(events):
+            if first[0] != "write" or first[1] in reported:
+                continue
+            attr = first[1]
+            for last_index in range(first_index + 1, len(events)):
+                last = events[last_index]
+                if (last[0] != "write" or last[1] != attr
+                        or not _compatible(first[3], last[3])):
+                    continue
+                if self._hazard(events, first_index, last_index, attr):
+                    reported.add(attr)
+                    yield self.finding(
+                        source, last[2],
+                        f"'self.{attr}' written on line {first[2]} and "
+                        f"again here with an await in between but no "
+                        f"re-read — a concurrent task's update to it "
+                        f"would be lost ({node.name})")
+                    break
+
+    def _hazard(self, events: list[_Event], first_index: int,
+                last_index: int, attr: str) -> bool:
+        """An await separates the writes and no read intervenes after."""
+        first = events[first_index]
+        last = events[last_index]
+        await_index = None
+        for index in range(first_index + 1, last_index):
+            event = events[index]
+            if (event[0] == "await" and _compatible(event[3], first[3])
+                    and _compatible(event[3], last[3])):
+                await_index = index
+                break
+        if await_index is None:
+            return False
+        for index in range(await_index + 1, last_index):
+            event = events[index]
+            if event[0] == "read" and event[1] == attr:
+                return False
+        return True

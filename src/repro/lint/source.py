@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
 
-__all__ = ["PragmaError", "SourceFile", "Project", "load_source"]
+__all__ = ["PragmaError", "Pragma", "SourceFile", "Project",
+           "load_source"]
 
 _PRAGMA = re.compile(
     r"#\s*lint:\s*(?P<scope>allow|allow-file)\[(?P<rules>[^\]]*)\]"
@@ -39,6 +40,30 @@ class PragmaError:
 
 
 @dataclass
+class Pragma:
+    """One well-formed allow-pragma, tracked as a unit.
+
+    A standalone line pragma covers two physical lines (its own and the
+    next), but it is *one* exemption: the engine's unused-pragma check
+    (LINT001) counts it used when any covered line suppressed a finding.
+    """
+
+    #: Line the pragma comment sits on (where LINT001 would point).
+    line: int
+    #: Rule ids the pragma exempts.
+    rules: frozenset[str]
+    #: "line" or "file".
+    scope: str
+    #: Lines covered (empty for file scope, which covers everything).
+    targets: tuple[int, ...] = ()
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        return self.scope == "file" or line in self.targets
+
+
+@dataclass
 class SourceFile:
     """One parsed Python source file plus its pragma table."""
 
@@ -52,10 +77,8 @@ class SourceFile:
     tree: Optional[ast.AST]
     #: Syntax-error description when ``tree`` is None.
     parse_error: Optional[str] = None
-    #: Line number -> rule ids allowed on that line.
-    line_allows: dict[int, set[str]] = field(default_factory=dict)
-    #: Rule ids allowed for the entire file.
-    file_allows: set[str] = field(default_factory=set)
+    #: Every well-formed allow-pragma, in file order.
+    pragmas: list[Pragma] = field(default_factory=list)
     #: Malformed pragmas found while parsing comments.
     pragma_errors: list[PragmaError] = field(default_factory=list)
 
@@ -64,11 +87,13 @@ class SourceFile:
         """Basename, used by cross-file rules to locate known modules."""
         return self.path.name
 
+    def allowing(self, rule: str, line: int) -> list[Pragma]:
+        """The pragmas that suppress ``rule`` at ``line`` (maybe empty)."""
+        return [p for p in self.pragmas if p.covers(rule, line)]
+
     def allows(self, rule: str, line: int) -> bool:
         """True when an allow-pragma suppresses ``rule`` at ``line``."""
-        if rule in self.file_allows:
-            return True
-        return rule in self.line_allows.get(line, ())
+        return any(p.covers(rule, line) for p in self.pragmas)
 
 
 def _iter_comments(text: str) -> Iterator[tuple[int, str, bool]]:
@@ -124,14 +149,16 @@ def _parse_pragmas(source: SourceFile, known_rules: frozenset[str]) -> None:
                         "justification"))
             continue
         if match.group("scope") == "allow-file":
-            source.file_allows |= rules
+            source.pragmas.append(Pragma(
+                line=lineno, rules=frozenset(rules), scope="file"))
         else:
             targets = [lineno]
             if standalone:
                 # A standalone comment pragma covers the following line.
                 targets.append(lineno + 1)
-            for target in targets:
-                source.line_allows.setdefault(target, set()).update(rules)
+            source.pragmas.append(Pragma(
+                line=lineno, rules=frozenset(rules), scope="line",
+                targets=tuple(targets)))
 
 
 def load_source(path: Path, rel: str,

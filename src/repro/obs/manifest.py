@@ -23,6 +23,7 @@ from typing import Any, Optional
 
 __all__ = [
     "MANIFEST_VERSION",
+    "config_from_dict",
     "config_to_dict",
     "diff_manifests",
     "package_version",
@@ -71,6 +72,48 @@ def config_to_dict(config: Any) -> dict:
         return value
 
     return convert(asdict(config))
+
+
+def _known_fields(cls, data: dict) -> dict:
+    """``data`` restricted to ``cls``'s dataclass fields.
+
+    Manifests tolerate fields added by future versions; the inverse
+    direction must too, so unknown keys are dropped rather than raised.
+    """
+    from dataclasses import fields
+
+    names = {f.name for f in fields(cls)}
+    return {key: value for key, value in data.items() if key in names}
+
+
+def config_from_dict(data: dict):
+    """Rebuild a :class:`~repro.core.config.SystemConfig` from its dict.
+
+    The inverse of :func:`config_to_dict` for system configs — accepts
+    the ``config`` section of a run manifest (or anything that round-
+    tripped through JSON): the algorithm enum is revived from its value,
+    JSON lists turn back into the tuples the dataclasses expect, and
+    keys unknown to this version are ignored.
+    """
+    from repro.core.algorithms import Algorithm
+    from repro.core.config import (
+        ClientConfig,
+        RunConfig,
+        ServerConfig,
+        SystemConfig,
+    )
+
+    server = _known_fields(ServerConfig, data.get("server", {}))
+    for name in ("disk_sizes", "rel_freqs"):
+        if name in server:
+            server[name] = tuple(server[name])
+    return SystemConfig(
+        algorithm=Algorithm(data["algorithm"]),
+        client=ClientConfig(**_known_fields(ClientConfig,
+                                            data.get("client", {}))),
+        server=ServerConfig(**server),
+        run=RunConfig(**_known_fields(RunConfig, data.get("run", {}))),
+    )
 
 
 def _environment() -> dict:

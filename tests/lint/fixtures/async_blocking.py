@@ -1,0 +1,29 @@
+"""REP008 fixture: blocking calls inside (and outside) async def."""
+import asyncio
+import subprocess
+import time
+
+
+async def shell_out() -> bytes:
+    return subprocess.check_output(["true"])
+
+
+async def nap() -> None:
+    time.sleep(0.5)
+
+
+async def read_config(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+async def good() -> None:
+    await asyncio.sleep(0.1)
+    process = await asyncio.create_subprocess_exec("true")
+    await process.wait()
+
+
+def sync_context() -> None:
+    subprocess.run(["true"], check=True)
+    with open("/dev/null") as handle:
+        handle.read()

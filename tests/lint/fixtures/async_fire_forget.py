@@ -1,0 +1,19 @@
+"""REP007 fixture: asyncio Task handles that are (not) kept alive."""
+import asyncio
+
+
+class Worker:
+    async def start_bad(self) -> None:
+        asyncio.create_task(self.pump())
+        handle = asyncio.create_task(self.pump())
+        asyncio.ensure_future(self.pump())
+
+    async def start_ok(self) -> None:
+        self.pump_task = asyncio.create_task(self.pump())
+        waited = asyncio.create_task(self.pump())
+        await waited
+        tasks = [asyncio.create_task(self.pump()) for _ in range(3)]
+        await asyncio.gather(*tasks)
+
+    async def pump(self) -> None:
+        await asyncio.sleep(0)

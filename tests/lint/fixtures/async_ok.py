@@ -1,0 +1,14 @@
+"""Async-clean fixture: the idioms the REP007-REP009 family accepts."""
+import asyncio
+
+
+class Server:
+    async def run(self) -> None:
+        self.clock_task = asyncio.create_task(self.tick())
+        await self.clock_task
+
+    async def tick(self) -> None:
+        self.slot = 0
+        while True:
+            await asyncio.sleep(0)
+            self.slot += 1

@@ -1,0 +1,26 @@
+"""REP009 fixture: self-state mutated across awaits with(out) re-reads."""
+import asyncio
+
+
+class SlotClock:
+    async def advance_bad(self) -> None:
+        self.slot = self.slot + 1
+        await asyncio.sleep(0)
+        self.slot = 0
+
+    async def advance_aug_ok(self) -> None:
+        self.slot = 5
+        await asyncio.sleep(0)
+        self.slot += 1
+
+    async def advance_reread_ok(self) -> None:
+        self.slot = 5
+        await asyncio.sleep(0)
+        self.slot = self.slot + 1
+
+    async def branch_ok(self, flag: bool) -> None:
+        if flag:
+            self.slot = 1
+        else:
+            await asyncio.sleep(0)
+            self.slot = 2

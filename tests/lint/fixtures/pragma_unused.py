@@ -1,0 +1,7 @@
+"""LINT001 fixture: one dead allow-pragma next to a live one."""
+import time
+
+# lint: allow[REP001] -- stale: the timer this covered was deleted
+x = 1
+
+t = time.time()  # lint: allow[REP001] -- provenance timestamp fixture

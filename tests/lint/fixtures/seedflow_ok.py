@@ -1,0 +1,15 @@
+"""Seed-flow clean fixture: every RNG roots in configuration."""
+import numpy as np
+
+
+def build_rngs(config) -> list:
+    seed_seq = np.random.SeedSequence(config.run.seed)
+    return [np.random.default_rng(child) for child in seed_seq.spawn(3)]
+
+
+def derived(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence((seed, 0xBEEF)))
+
+
+def caller(config) -> np.random.Generator:
+    return derived(config.run.seed)

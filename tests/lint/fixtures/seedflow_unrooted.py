@@ -1,0 +1,21 @@
+"""REP010 fixture: seeds that derive from entropy, not configuration."""
+import os
+
+import numpy as np
+
+
+def direct() -> np.random.Generator:
+    return np.random.default_rng(os.getpid())
+
+
+def via_local() -> np.random.Generator:
+    entropy = os.getpid()
+    return np.random.default_rng(entropy)
+
+
+def via_helper() -> np.random.Generator:
+    return np.random.default_rng(worker_token())
+
+
+def worker_token() -> int:
+    return os.getpid() % 1000

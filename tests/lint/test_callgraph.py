@@ -1,0 +1,144 @@
+"""Call-graph layer: module matching, call resolution, arg binding."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.source import Project, load_source
+
+KNOWN = frozenset({"REP001"})
+
+
+def project(tmp_path: Path, files: dict[str, str]) -> Project:
+    sources = []
+    for rel, code in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+        sources.append(load_source(path, rel, KNOWN))
+    return Project(files=sources)
+
+
+def call_in(graph: CallGraph, dotted: str, lineno: int) -> ast.Call:
+    module = graph.find_module(dotted)
+    assert module is not None and module.source.tree is not None
+    return next(n for n in ast.walk(module.source.tree)
+                if isinstance(n, ast.Call) and n.lineno == lineno)
+
+
+class TestModuleMatching:
+    def test_dotted_suffix_match(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, {
+            "core/build.py": "def build():\n    return 1\n"}))
+        assert graph.find_module("repro.core.build") is not None
+        assert graph.find_module("core.build") is not None
+        assert graph.find_module("unrelated.thing") is None
+
+    def test_ambiguous_suffix_resolves_to_nothing(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, {
+            "a/util.py": "x = 1\n",
+            "b/util.py": "y = 2\n"}))
+        assert graph.find_module("util") is None
+
+
+class TestCallResolution:
+    FILES = {
+        "core/build.py": """
+            def build_system(config, fresh=0):
+                return config
+
+            class Engine:
+                def __init__(self, size):
+                    self.size = size
+
+                def helper(self):
+                    return self.step()
+
+                def step(self):
+                    return 1
+            """,
+        "app.py": """
+            from core.build import Engine, build_system
+
+            def main(config):
+                system = build_system(config, fresh=2)
+                engine = Engine(4)
+                return system, engine
+            """,
+    }
+
+    def test_cross_module_function(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, self.FILES))
+        call = call_in(graph, "app", 5)
+        resolved = graph.resolve_call(graph.find_module("app"), call)
+        assert resolved is not None
+        assert resolved.key == ("core.build", "build_system")
+
+    def test_class_resolves_to_init(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, self.FILES))
+        call = call_in(graph, "app", 6)
+        resolved = graph.resolve_call(graph.find_module("app"), call)
+        assert resolved is not None
+        assert resolved.key == ("core.build", "Engine.__init__")
+
+    def test_self_method_dispatch(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, self.FILES))
+        module = graph.find_module("core.build")
+        call = call_in(graph, "core.build", 10)
+        resolved = graph.resolve_call(module, call)
+        assert resolved is not None
+        assert resolved.qualname == "Engine.step"
+
+    def test_call_sites_index(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, self.FILES))
+        build = graph.resolve_dotted("core.build.build_system")
+        assert build is not None
+        sites = graph.call_sites(build)
+        assert [(m.dotted, c.lineno) for m, c in sites] == [("app", 5)]
+
+
+class TestArgBinding:
+    def test_positional_keyword_and_default(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, TestCallResolution.FILES))
+        build = graph.resolve_dotted("core.build.build_system")
+        assert build is not None
+        _, call = graph.call_sites(build)[0]
+        bound = {b.param: b for b in graph.bind_args(build, call)}
+        assert isinstance(bound["config"].value, ast.Name)
+        assert not bound["config"].from_default
+        assert isinstance(bound["fresh"].value, ast.Constant)
+
+    def test_default_used_when_arg_missing(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, {
+            "lib.py": "def f(x, y=7):\n    return x\n",
+            "use.py": "from lib import f\nf(1)\n"}))
+        f = graph.resolve_dotted("lib.f")
+        assert f is not None
+        _, call = graph.call_sites(f)[0]
+        bound = {b.param: b for b in graph.bind_args(f, call)}
+        assert bound["y"].from_default
+        assert isinstance(bound["y"].value, ast.Constant)
+        assert bound["y"].value.value == 7
+
+    def test_method_binding_skips_self(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, TestCallResolution.FILES))
+        init = graph.resolve_dotted("core.build.Engine")
+        assert init is not None
+        _, call = graph.call_sites(init)[0]
+        bound = {b.param: b for b in graph.bind_args(init, call)}
+        assert set(bound) == {"size"}
+        assert isinstance(bound["size"].value, ast.Constant)
+
+    def test_star_args_bind_nothing(self, tmp_path):
+        graph = CallGraph.of(project(tmp_path, {
+            "lib.py": "def f(x, y):\n    return x\n",
+            "use.py": "from lib import f\nargs = (1, 2)\nf(*args)\n"}))
+        f = graph.resolve_dotted("lib.f")
+        assert f is not None
+        _, call = graph.call_sites(f)[0]
+        bound = {b.param: b for b in graph.bind_args(f, call)}
+        assert bound["x"].value is None
+        assert bound["y"].value is None

@@ -66,6 +66,10 @@ class TestPragmas:
             rng = np.random.default_rng()
             """)
         result = run_lint([path])
+        # The mis-targeted pragma suppresses nothing, so REP002 still
+        # fires — and LINT001 calls out the dead pragma itself.
+        assert [f.rule for f in result.findings] == ["LINT001", "REP002"]
+        result = run_lint([path], unused_pragmas=False)
         assert [f.rule for f in result.findings] == ["REP002"]
 
     def test_pragma_in_docstring_is_inert(self, tmp_path):
@@ -124,6 +128,120 @@ class TestEngine:
         result = run_lint([tmp_path])
         assert result.ok
         assert result.files_scanned == 1
+
+
+class TestUnusedExemptions:
+    def test_used_pragma_is_not_flagged(self, tmp_path):
+        path = write(tmp_path, """\
+            import time
+
+            t = time.time()  # lint: allow[REP001] -- scaffolding
+            """)
+        result = run_lint([path])
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_standalone_pragma_counts_as_one_exemption(self, tmp_path):
+        # The pragma covers its own line and the next; suppressing via
+        # the next line marks the whole pragma used.
+        path = write(tmp_path, """\
+            import time
+
+            # lint: allow[REP001] -- scaffolding
+            t = time.time()
+            """)
+        assert run_lint([path]).ok
+
+    def test_select_subset_spares_foreign_pragmas(self, tmp_path):
+        # The pragma names REP001, which did not run: no verdict on it.
+        path = write(tmp_path, """\
+            import time
+
+            # lint: allow[REP001] -- judged only when REP001 runs
+            x = 1
+            """)
+        assert run_lint([path], select=["REP002"]).ok
+        assert not run_lint([path], select=["REP001"]).ok
+
+    def test_no_unused_pragma_escape_hatch(self, tmp_path):
+        path = write(tmp_path, """\
+            # lint: allow[REP001] -- stale
+            x = 1
+            """)
+        assert not run_lint([path]).ok
+        assert run_lint([path], unused_pragmas=False).ok
+
+    def test_unused_file_pragma_is_flagged(self, tmp_path):
+        path = write(tmp_path, """\
+            # lint: allow-file[REP003] -- nothing here compares sim time
+            x = 1
+            """)
+        result = run_lint([path])
+        assert [f.rule for f in result.findings] == ["LINT001"]
+        assert result.findings[0].line == 1
+
+    def test_unused_config_entry_is_flagged(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\n'
+            '[[tool.repro-lint.allow]]\n'
+            'path = "*.py"\n'
+            'rules = ["REP001"]\n'
+            'reason = "stale blanket exemption"\n')
+        write(tmp_path, "x = 1\n")
+        result = run_lint([tmp_path])
+        assert [f.rule for f in result.findings] == ["LINT001"]
+        assert "pyproject.toml" in result.findings[0].path
+
+    def test_out_of_scope_config_entry_is_spared(self, tmp_path):
+        # The entry targets a subtree that was not scanned: no verdict.
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\n'
+            '[[tool.repro-lint.allow]]\n'
+            'path = "elsewhere/*.py"\n'
+            'rules = ["REP001"]\n'
+            'reason = "belongs to a sibling subtree"\n')
+        write(tmp_path, "x = 1\n")
+        assert run_lint([tmp_path]).ok
+
+    def test_used_config_entry_is_not_flagged(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\n'
+            '[[tool.repro-lint.allow]]\n'
+            'path = "*.py"\n'
+            'rules = ["REP001"]\n'
+            'reason = "wall-clock fixture tree"\n')
+        write(tmp_path, "import time\nt = time.time()\n")
+        result = run_lint([tmp_path])
+        assert result.ok
+        assert result.config_allowed == 1
+
+
+class TestParallelScan:
+    def _tree(self, tmp_path):
+        for index in range(6):
+            write(tmp_path, f"""\
+                import time
+
+                t{index} = time.time()
+                """, name=f"mod{index}.py")
+
+    def test_jobs_matches_serial(self, tmp_path):
+        self._tree(tmp_path)
+        serial = run_lint([tmp_path])
+        parallel = run_lint([tmp_path], jobs=3)
+        assert parallel.findings == serial.findings
+        assert parallel.files_scanned == serial.files_scanned
+
+    def test_jobs_ordering_is_deterministic(self, tmp_path):
+        self._tree(tmp_path)
+        result = run_lint([tmp_path], jobs=3)
+        keys = [(f.path, f.line, f.rule) for f in result.findings]
+        assert keys == sorted(keys)
+
+    def test_jobs_with_project_rules_and_baseline(self, tmp_path):
+        self._tree(tmp_path)
+        baseline = Baseline.of(run_lint([tmp_path]).findings)
+        assert run_lint([tmp_path], jobs=3, baseline=baseline).ok
 
 
 class TestBaseline:

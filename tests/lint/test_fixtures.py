@@ -49,13 +49,19 @@ def test_corpus_covers_every_rule():
     fired = set()
     for target in SINGLE_FILE + PROJECT:
         fired.update(f.rule for f in run_lint([target]).findings)
-    from repro.lint.rules import PRAGMA_RULE_ID, REGISTRY
+    from repro.lint.rules import (
+        PRAGMA_RULE_ID,
+        REGISTRY,
+        UNUSED_PRAGMA_RULE_ID,
+    )
 
-    assert set(REGISTRY) | {PRAGMA_RULE_ID} <= fired
+    assert (set(REGISTRY)
+            | {PRAGMA_RULE_ID, UNUSED_PRAGMA_RULE_ID}) <= fired
 
 
 def test_clean_fixtures_are_clean():
-    for name in ("rng_seeded_ok.py", "simtime_ok.py"):
+    for name in ("rng_seeded_ok.py", "simtime_ok.py", "seedflow_ok.py",
+                 "async_ok.py"):
         assert run_lint([FIXTURES / name]).ok
     for name in ("parity_ok", "events_ok"):
         assert run_lint([FIXTURES / name]).ok

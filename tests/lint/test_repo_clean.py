@@ -24,4 +24,5 @@ def test_source_tree_is_clean():
 def test_every_rule_ran():
     result = run_lint([Path(repro.__file__).parent])
     assert result.rules == sorted(
-        ["REP001", "REP002", "REP003", "REP004", "REP005", "REP006"])
+        ["REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+         "REP007", "REP008", "REP009", "REP010"])
