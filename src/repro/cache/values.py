@@ -24,7 +24,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["page_values", "top_valued_pages", "rank_by_probability"]
+__all__ = ["page_values", "top_valued_pages", "value_positions",
+           "rank_by_probability"]
 
 
 def page_values(probabilities: Sequence[float],
@@ -63,6 +64,30 @@ def top_valued_pages(probabilities: Sequence[float],
     values = page_values(probabilities, frequencies, metric)
     order = sorted(range(len(values)), key=values.__getitem__, reverse=True)
     return frozenset(order[:count])
+
+
+def value_positions(probabilities: Sequence[float],
+                    frequencies: Mapping[int, int] | None,
+                    metric: str = "pix") -> np.ndarray:
+    """Each page's position in the most-valuable-first ordering.
+
+    ``value_positions(...)[page] == 0`` for the most valuable page.  Uses
+    the same sort (and tie-break) as :func:`top_valued_pages`, so for any
+    ``k``::
+
+        frozenset(np.flatnonzero(value_positions(p, f) < k))
+            == top_valued_pages(p, f, k)
+
+    The client fleet uses this as a vectorized absorption test: a warm
+    cache of size ``c`` absorbs exactly the pages at positions below
+    ``c`` (one gather per batch instead of a set probe per request).
+    """
+    values = page_values(probabilities, frequencies, metric)
+    order = sorted(range(len(values)), key=values.__getitem__, reverse=True)
+    positions = np.empty(len(values), dtype=np.int64)
+    positions[np.asarray(order, dtype=np.int64)] = np.arange(
+        len(values), dtype=np.int64)
+    return positions
 
 
 def rank_by_probability(probabilities: Sequence[float]) -> list[int]:

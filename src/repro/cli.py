@@ -23,6 +23,11 @@ Subcommands:
   code versions) and flag series drift beyond replicate noise
   (Welch's t-test per point, tolerance fallback; exit 0 match /
   1 drift / 2 structural, see docs/COMPARE.md),
+- ``fleet-sweep`` — sweep PullBW with a per-user client fleet and plot
+  fairness statistics (per-user p99, wait dispersion, Jain's index);
+  ``--parity`` instead validates a homogeneous fleet against its
+  aggregate-VC equivalent through the compare harness (same exit-code
+  contract; see docs/FLEET.md),
 - ``convert`` — convert a trace between JSONL and columnar ``.npy``
   losslessly, in either direction,
 - ``profile`` — run the fast engine with phase timers and print the
@@ -79,6 +84,25 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--settle", type=int, default=4000)
     parser.add_argument("--measure", type=int, default=5000)
+    parser.add_argument(
+        "--fleet-clients", type=int, default=0, metavar="N",
+        help="add a per-user client fleet of N individually tracked "
+             "clients (0 = disabled; see docs/FLEET.md)")
+    parser.add_argument(
+        "--fleet-think-time", type=float, default=4000.0, metavar="UNITS",
+        help="mean fleet-client think time in broadcast units")
+    parser.add_argument(
+        "--fleet-think-spread", type=float, default=0.0, metavar="FRAC",
+        help="per-client think-time spread fraction in [0, 1]")
+    parser.add_argument(
+        "--fleet-offset-spread", type=int, default=0, metavar="PAGES",
+        help="per-client popularity-ranking rotation drawn from [0, N]")
+    parser.add_argument(
+        "--fleet-cache-size", type=int, default=100, metavar="PAGES",
+        help="fleet warm-cache size (steady-state absorption)")
+    parser.add_argument(
+        "--fleet-cache-spread", type=float, default=0.0, metavar="FRAC",
+        help="per-client cache-size spread fraction in [0, 1]")
 
 
 def _system_config(args) -> SystemConfig:
@@ -104,6 +128,15 @@ def _system_config(args) -> SystemConfig:
             server__pull_bw=args.pull_bw,
             server__thresh_perc=args.thresh_perc,
             server__chop=args.chop,
+        )
+    if getattr(args, "fleet_clients", 0):
+        config = config.with_(
+            fleet__num_clients=args.fleet_clients,
+            fleet__think_time=args.fleet_think_time,
+            fleet__think_time_spread=args.fleet_think_spread,
+            fleet__zipf_offset_spread=args.fleet_offset_spread,
+            fleet__cache_size=args.fleet_cache_size,
+            fleet__cache_size_spread=args.fleet_cache_spread,
         )
     return config.with_(
         run__seed=args.seed,
@@ -304,6 +337,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json"), default="table",
         help="report rendering (default: table)")
 
+    fleet = sub.add_parser(
+        "fleet-sweep",
+        help="sweep PullBW with per-user fleet fairness statistics")
+    fleet.add_argument(
+        "--clients", type=int, default=10_000,
+        help="fleet population per run (default: 10000)")
+    fleet.add_argument(
+        "--think-time", type=float, default=None, metavar="UNITS",
+        help="mean client think time (default: scaled with --clients to a "
+             "ThinkTimeRatio-25 aggregate load)")
+    fleet.add_argument(
+        "--homogeneous", action="store_true",
+        help="disable the per-client heterogeneity spreads")
+    fleet.add_argument(
+        "--full", action="store_true",
+        help="paper-scale runs (slow); default is the quick profile")
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for the sweep")
+    fleet.add_argument("--seed", type=int, default=42,
+                       help="base RNG seed")
+    fleet.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the figure (or parity report) JSON to FILE")
+    fleet.add_argument(
+        "--chart", action="store_true",
+        help="also plot the figure as an ASCII chart")
+    fleet.add_argument(
+        "--parity", action="store_true",
+        help="instead check a homogeneous fleet against its aggregate-VC "
+             "equivalent (compare-harness exit codes: 0 parity / 1 drift "
+             "/ 2 structural)")
+    fleet.add_argument(
+        "--parity-clients", type=int, default=200, metavar="N",
+        help="(--parity) homogeneous fleet size (default: 200)")
+
     convert = sub.add_parser(
         "convert", help="convert a trace between JSONL and columnar .npy")
     convert.add_argument(
@@ -467,6 +536,10 @@ def _cmd_simulate(args) -> int:
     result = engine.run()
     registry = MetricsRegistry()
     bind_server_metrics(registry, engine.state.server)
+    if engine.state.fleet is not None:
+        from repro.fleet.metrics import bind_fleet_metrics
+
+        bind_fleet_metrics(registry, engine.state.fleet)
     output = result.to_dict()
     output["metrics"] = registry.snapshot()
     print(json.dumps(output, indent=2))
@@ -669,6 +742,55 @@ def _cmd_compare(args) -> int:
     else:
         print(render_compare(comparison))
     return comparison.exit_code
+
+
+def _cmd_fleet_sweep(args) -> int:
+    from repro.fleet import fleet_parity_report, fleet_sweep_figure
+
+    base = FULL if args.full else QUICK
+    profile = Profile(
+        settle_accesses=base.settle_accesses,
+        measure_accesses=base.measure_accesses,
+        replicates=base.replicates,
+        workers=args.workers if args.workers is not None else base.workers,
+        base_seed=args.seed,
+    )
+    if args.parity:
+        report = fleet_parity_report(profile,
+                                     num_clients=args.parity_clients)
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(json.dumps(report, indent=2))
+            print(f"[parity report JSON -> {args.json}]")
+        verdict = report["comparison"]["verdict"]
+        print(f"fleet parity: {args.parity_clients} homogeneous clients "
+              f"vs aggregate VC (ThinkTimeRatio "
+              f"{report['ttr_base']:g}+{report['fleet_ttr']:g})")
+        print("  aggregate VC response: "
+              + "  ".join(f"{y:.1f}" for y in report["aggregate_response"]))
+        print("  fleet response:        "
+              + "  ".join(f"{y:.1f}" for y in report["fleet_response"]))
+        print(f"  response curves: {verdict}")
+        print(f"  closed-loop rate: worst error "
+              f"{report['worst_rate_error']:.2%} "
+              f"(tolerance {report['rate_tolerance']:.0%}) -> "
+              f"{'ok' if report['rate_ok'] else 'FAIL'}")
+        print(f"  PullBW ordering preserved: "
+              f"{'yes' if report['ordering_ok'] else 'NO'}")
+        return report["exit_code"]
+
+    figure = fleet_sweep_figure(
+        profile, num_clients=args.clients, think_time=args.think_time,
+        heterogeneous=not args.homogeneous)
+    print(render_figure(figure))
+    if args.chart:
+        print()
+        print(render_ascii_chart(figure))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(figure.to_dict(), indent=2))
+        print(f"[figure JSON -> {args.json}]")
+    return 0
 
 
 def _cmd_convert(args) -> int:
@@ -923,6 +1045,8 @@ def main(argv=None) -> int:
         return _cmd_report(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "fleet-sweep":
+        return _cmd_fleet_sweep(args)
     if args.command == "convert":
         return _cmd_convert(args)
     if args.command == "profile":

@@ -36,7 +36,10 @@ class WarmupTracker:
         self.target = target
         self.levels = tuple(sorted(levels))
         self.crossing_times: dict[float, float] = {}
-        self._resident_targets = 0
+        # The resident *set* (not a counter): re-inserting an already
+        # resident target or evicting an absent one must be no-ops, so the
+        # fraction can never overcount or go negative.
+        self._resident: set[int] = set()
         self._next_level_index = 0
 
     @property
@@ -47,13 +50,13 @@ class WarmupTracker:
     @property
     def fraction(self) -> float:
         """Current fraction of the target set resident."""
-        return self._resident_targets / len(self.target)
+        return len(self._resident) / len(self.target)
 
     def on_insert(self, page: int, now: float) -> None:
-        """Record that ``page`` entered the cache at ``now``."""
-        if page not in self.target:
+        """Record that ``page`` entered the cache at ``now`` (idempotent)."""
+        if page not in self.target or page in self._resident:
             return
-        self._resident_targets += 1
+        self._resident.add(page)
         fraction = self.fraction
         while (self._next_level_index < len(self.levels)
                and fraction >= self.levels[self._next_level_index]):
@@ -61,9 +64,8 @@ class WarmupTracker:
             self._next_level_index += 1
 
     def on_evict(self, page: int) -> None:
-        """Record that ``page`` left the cache."""
-        if page in self.target:
-            self._resident_targets -= 1
+        """Record that ``page`` left the cache (no-op when not resident)."""
+        self._resident.discard(page)
 
 
 def _latency_histograms():
@@ -161,6 +163,9 @@ class MeasuredClient:
         self.hits = 0
         self.misses = 0
         self.pulls_sent = 0
+        # Without this, the counter keeps warm-up/settle lookups and any
+        # downstream ratio over it mixes phases.
+        self.accesses = 0
 
     @property
     def miss_rate(self) -> float:

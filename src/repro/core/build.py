@@ -9,7 +9,7 @@ comparable point to point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.broadcast.schedule import Schedule
 from repro.cache.base import Cache
 from repro.cache.p import PPolicy
 from repro.cache.pix import PixPolicy
-from repro.cache.values import top_valued_pages
+from repro.cache.values import top_valued_pages, value_positions
 from repro.client.measured import MeasuredClient
 from repro.client.threshold import ThresholdFilter
 from repro.client.virtual import VirtualClient
@@ -28,6 +28,9 @@ from repro.core.config import SystemConfig
 from repro.server.broadcast_server import BroadcastServer
 from repro.workload.noise import noisy_probabilities
 from repro.workload.zipf import zipf_probabilities
+
+if TYPE_CHECKING:
+    from repro.fleet.state import FleetState
 
 __all__ = ["SystemState", "build_system", "build_push_program"]
 
@@ -52,6 +55,9 @@ class SystemState:
     steady_set: frozenset[int]
     #: The MC's own top-valued pages (Figure 4's warm-up target).
     warmup_target: frozenset[int]
+    #: Individually tracked client population, or None when
+    #: ``config.fleet.num_clients`` is 0.
+    fleet: Optional["FleetState"] = None
 
 
 def build_push_program(config: SystemConfig,
@@ -94,8 +100,10 @@ def _make_policy(config: SystemConfig, mc_probs: np.ndarray,
 def build_system(config: SystemConfig) -> SystemState:
     """Construct the complete simulated system for ``config``."""
     seed_seq = np.random.SeedSequence(config.run.seed)
-    noise_rng, mc_rng, vc_rng, mux_rng = (
-        np.random.default_rng(s) for s in seed_seq.spawn(4))
+    # The fleet child is spawned LAST so fleet-less configs keep the exact
+    # historic draw sequences (archived baselines stay bit-identical).
+    noise_rng, mc_rng, vc_rng, mux_rng, fleet_rng = (
+        np.random.default_rng(s) for s in seed_seq.spawn(5))
 
     rank_probs = zipf_probabilities(config.server.db_size,
                                     config.client.zipf_theta)
@@ -124,6 +132,27 @@ def build_system(config: SystemConfig) -> SystemState:
         vc_probs, steady_set, config.client.steady_state_perc,
         config.client.think_time, config.client.think_time_ratio,
         threshold, vc_rng)
+
+    fleet = None
+    if config.fleet.num_clients > 0:
+        # Imported here, not at module scope: repro.fleet pulls in the
+        # experiments layer, which imports the engines, which import this
+        # module — the cycle only resolves with a call-time import.
+        from repro.fleet.state import FleetState
+
+        fleet = FleetState(
+            num_clients=config.fleet.num_clients,
+            mean_think_time=config.fleet.think_time,
+            think_time_spread=config.fleet.think_time_spread,
+            zipf_offset_spread=config.fleet.zipf_offset_spread,
+            cache_size=config.fleet.cache_size,
+            cache_size_spread=config.fleet.cache_size_spread,
+            steady_state_perc=config.client.steady_state_perc,
+            probabilities=vc_probs,
+            value_order=value_positions(vc_probs, frequencies, metric),
+            threshold=threshold,
+            rng=fleet_rng,
+        )
     return SystemState(
         config=config,
         vc_probabilities=vc_probs,
@@ -135,4 +164,5 @@ def build_system(config: SystemConfig) -> SystemState:
         mc_threshold=threshold,
         steady_set=steady_set,
         warmup_target=warmup_target,
+        fleet=fleet,
     )

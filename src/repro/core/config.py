@@ -14,6 +14,7 @@ from repro.core.algorithms import Algorithm
 
 __all__ = [
     "ClientConfig",
+    "FleetConfig",
     "ServerConfig",
     "RunConfig",
     "SystemConfig",
@@ -72,6 +73,53 @@ class ClientConfig:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
         if self.zipf_theta < 0:
             raise ValueError("zipf_theta must be non-negative")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The per-user client fleet (an extension beyond the paper).
+
+    The paper collapses everyone but the MC into one aggregate Virtual
+    Client, which hides per-user experience entirely.  A non-zero
+    ``num_clients`` adds a vectorized struct-of-arrays population of
+    *individually tracked* clients (:mod:`repro.fleet`) as a third
+    request source, with optional heterogeneity in access pattern, cache
+    size, and think time.  All spreads at 0 give a homogeneous fleet
+    whose aggregate load matches a Virtual Client of rate
+    ``num_clients / think_time`` requests per broadcast unit.
+    """
+
+    #: Number of individually tracked clients (0 disables the fleet).
+    num_clients: int = 0
+    #: Mean think time between a client's accesses (broadcast units).
+    think_time: float = 4000.0
+    #: Per-client think-time heterogeneity: means drawn uniformly from
+    #: ``think_time * [1 - spread, 1 + spread]``.
+    think_time_spread: float = 0.0
+    #: Per-client access-pattern heterogeneity: each client's page
+    #: popularity ranking is rotated by an offset drawn uniformly from
+    #: ``[0, zipf_offset_spread]`` (0 = everyone shares the server view).
+    zipf_offset_spread: int = 0
+    #: Warm-cache size per client (pages); absorption follows the paper's
+    #: steady-state model: the ``cache_size - 1`` most valuable pages.
+    cache_size: int = 100
+    #: Per-client cache-size heterogeneity: sizes drawn uniformly from
+    #: ``cache_size * [1 - spread, 1 + spread]`` (integer, clipped >= 0).
+    cache_size_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 0:
+            raise ValueError("num_clients must be non-negative")
+        if self.think_time <= 0:
+            raise ValueError("think_time must be positive")
+        if self.zipf_offset_spread < 0:
+            raise ValueError("zipf_offset_spread must be non-negative")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        for name in ("think_time_spread", "cache_size_spread"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
 
 
 @dataclass(frozen=True)
@@ -156,6 +204,7 @@ class SystemConfig:
     client: ClientConfig = field(default_factory=ClientConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
     run: RunConfig = field(default_factory=RunConfig)
+    fleet: FleetConfig = field(default_factory=FleetConfig)
 
     def __post_init__(self) -> None:
         if (self.algorithm is Algorithm.PURE_PUSH
@@ -186,7 +235,8 @@ class SystemConfig:
         sub-config: ``client__think_time_ratio=250`` etc.
         """
         top: dict = {}
-        nested: dict[str, dict] = {"client": {}, "server": {}, "run": {}}
+        nested: dict[str, dict] = {"client": {}, "server": {}, "run": {},
+                                   "fleet": {}}
         for key, value in updates.items():
             if "__" in key:
                 section, field_name = key.split("__", 1)

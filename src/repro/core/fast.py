@@ -107,7 +107,10 @@ class FastEngine:
                         and not self._force_general
                         and self.tracer is None
                         and self.profiler is None
-                        and self.request_tracer is None)
+                        and self.request_tracer is None
+                        # The fleet needs every slot ticked: its clients
+                        # snoop the frontchannel page by page.
+                        and self.state.fleet is None)
         # lint: allow[REP001] -- wall-clock run duration for the manifest
         started = time.perf_counter()
         rtracer = self.request_tracer
@@ -146,6 +149,8 @@ class FastEngine:
         state.mc.reset_stats()
         state.server.reset_stats()
         state.vc.reset_stats()
+        if state.fleet is not None:
+            state.fleet.reset_stats()
 
     def _result(self, warmup_mode: bool, measure_start: float,
                 end_time: float, queue_length_mean: float) -> RunResult:
@@ -182,6 +187,8 @@ class FastEngine:
             vc_absorbed=state.vc.absorbed_by_cache,
             vc_filtered=state.vc.filtered_by_threshold,
             warmup_times=warmup_times,
+            fleet=(state.fleet.snapshot()
+                   if state.fleet is not None else None),
         )
 
     # -- pure-push analytic path ---------------------------------------------------
@@ -274,6 +281,7 @@ class FastEngine:
         queue = server.queue
         mc = state.mc
         vc = state.vc
+        fleet = state.fleet
         threshold = state.mc_threshold
         uses_backchannel = config.algorithm.uses_backchannel
         tick = server.tick
@@ -339,6 +347,8 @@ class FastEngine:
                 server.mux.pull_bw = pull_bw
                 threshold.set_thresh_perc(thresh_perc)
                 vc.set_threshold_slots(threshold.threshold_slots)
+                if fleet is not None:
+                    fleet.set_threshold_slots(threshold.threshold_slots)
                 if profiling:
                     _now = _pc()
                     prof.control += _now - _t0
@@ -351,6 +361,8 @@ class FastEngine:
 
             # 1. Deliveries: the previous slot's page completes at time t and
             # the MC snoops every frontchannel page, push or pull.
+            if fleet is not None and in_flight is not None:
+                fleet.deliver(in_flight, now_boundary)
             if in_flight is not None and in_flight == waiting_page:
                 receive(in_flight, requested_at, now_boundary)
                 waiting_page = None
@@ -469,6 +481,15 @@ class FastEngine:
                         for wanted in requests_for_slot(
                                 count, server.schedule_pos):
                             offer(wanted)
+            # Fleet accesses inside this slot.  generate() must run even
+            # without a backchannel — clients still access, absorb, and
+            # wait on the push program — but its survivors only reach the
+            # queue when the algorithm accepts pulls.
+            if fleet is not None:
+                survivors = fleet.generate(t, server.schedule_pos)
+                if uses_backchannel:
+                    for wanted in survivors.tolist():
+                        offer(wanted)
             if profiling:
                 prof.vc_arrivals += _pc() - _t0
             t += 1

@@ -95,6 +95,9 @@ class RunResult:
     #: Warm-up crossing times (level fraction -> broadcast units), present
     #: only for warm-up runs (Figure 4).
     warmup_times: Optional[dict[float, float]] = None
+    #: Per-user fleet statistics (:meth:`repro.fleet.FleetState.snapshot`),
+    #: present only when the run simulated a client fleet.
+    fleet: Optional[dict[str, Any]] = None
     #: Free-form extras (sweep coordinates etc.).
     params: dict[str, Any] = field(default_factory=dict)
     #: Run provenance (:func:`repro.obs.manifest.run_manifest`).  Carries

@@ -134,6 +134,8 @@ class ReferenceEngine:
         state.mc.reset_stats()
         state.server.reset_stats()
         state.vc.reset_stats()
+        if state.fleet is not None:
+            state.fleet.reset_stats()
         self._measure_start = self.env.now
 
     def _access_completed(self, completion: float) -> None:
@@ -168,6 +170,8 @@ class ReferenceEngine:
         from repro.sim.core import URGENT
 
         server = self.state.server
+        fleet = self.state.fleet
+        uses_backchannel = self.config.algorithm.uses_backchannel
         env = self.env
         tracer = self.tracer
         while True:
@@ -187,6 +191,16 @@ class ReferenceEngine:
                 # The MC was already blocked on this page when it went on
                 # air (mid-slot misses are caught in _mc_process instead).
                 self.request_tracer.on_air(env.now, kind)
+            if fleet is not None:
+                # Fleet accesses inside this slot, drawn at the slot's
+                # start (post-tick, matching the fast engine's fleet call
+                # order: deliver(page at t-1) then generate(t)).  Their
+                # arrival times are inside [t, t+1) regardless, and only
+                # backchannel algorithms see the surviving pulls.
+                survivors = fleet.generate(int(env.now), server.schedule_pos)
+                if uses_backchannel:
+                    for wanted in survivors.tolist():
+                        server.queue.offer(wanted)
             # End-of-slot deliveries must become visible BEFORE any client
             # activity at the same instant (a fresh miss at the boundary
             # cannot catch a transmission that already finished), so the
@@ -196,6 +210,8 @@ class ReferenceEngine:
                 event = self._arrivals.pop(page, None)
                 if event is not None:
                     event.succeed(env.now)
+                if fleet is not None:
+                    fleet.deliver(page, env.now)
             self._on_air = None
             self._on_air_kind = None
             # ...and the next tick re-enters at normal priority so a
@@ -314,4 +330,6 @@ class ReferenceEngine:
             vc_absorbed=state.vc.absorbed_by_cache,
             vc_filtered=state.vc.filtered_by_threshold,
             warmup_times=warmup_times,
+            fleet=(state.fleet.snapshot()
+                   if state.fleet is not None else None),
         )

@@ -24,6 +24,8 @@ from repro.experiments.base import (
     load_figure,
     run_replicated,
     run_sweep,
+    sweep_series,
+    sweep_series_multi,
 )
 from repro.experiments.compare import (
     FigureComparison,
@@ -73,6 +75,8 @@ __all__ = [
     "load_figure",
     "run_replicated",
     "run_sweep",
+    "sweep_series",
+    "sweep_series_multi",
     "FigureComparison",
     "compare_figures",
     "compare_files",

@@ -15,7 +15,15 @@ import statistics
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional, Protocol, Sequence
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
 from repro.core.config import SystemConfig
 from repro.core.fast import FastEngine
@@ -36,6 +44,7 @@ __all__ = [
     "run_sweep",
     "sweep_progress",
     "sweep_series",
+    "sweep_series_multi",
     "PAPER_TTRS",
 ]
 
@@ -441,3 +450,37 @@ def sweep_series(label: str, configs: Sequence[SystemConfig],
         chunk = results[i * profile.replicates:(i + 1) * profile.replicates]
         points.append(_checked(PointStats.of(chunk, metric), config))
     return FigureSeries(label=label, x=list(xs), points=points)
+
+
+def sweep_series_multi(metrics: Mapping[str, Callable[[RunResult], float]],
+                       configs: Sequence[SystemConfig],
+                       xs: Sequence[float], profile: Profile,
+                       label: Optional[str] = None,
+                       ) -> list[FigureSeries]:
+    """Run one curve's simulations once, aggregate many metrics from them.
+
+    The fleet sweeps plot five statistics of the *same* runs (mean /
+    min / max / p99 user wait plus Jain's index); re-simulating per
+    metric would multiply the cost five-fold for identical results.
+    Returns one :class:`FigureSeries` per ``metrics`` entry, in mapping
+    order, all sharing the underlying replicate runs.
+    """
+    if len(configs) != len(xs):
+        raise ValueError("configs and xs must align")
+    if not metrics:
+        raise ValueError("metrics must not be empty")
+    flat: list[SystemConfig] = []
+    for config in configs:
+        flat.extend(profile.apply(config, profile.base_seed + r)
+                    for r in range(profile.replicates))
+    results = run_sweep(flat, workers=profile.workers, label=label)
+    series = []
+    for series_label, metric in metrics.items():
+        points = []
+        for i, config in enumerate(configs):
+            chunk = results[i * profile.replicates:
+                            (i + 1) * profile.replicates]
+            points.append(_checked(PointStats.of(chunk, metric), config))
+        series.append(FigureSeries(label=series_label, x=list(xs),
+                                   points=points))
+    return series

@@ -1,0 +1,40 @@
+"""Per-user client fleets: the population the paper aggregates away.
+
+The paper's model tracks one Measured Client and folds everyone else
+into a single Poisson Virtual Client, so only *aggregate* load exists —
+no per-user waits, no fairness.  This package adds a vectorized
+struct-of-arrays population of individually tracked clients
+(:class:`~repro.fleet.state.FleetState`, enabled via
+``SystemConfig.fleet``), per-user fairness statistics
+(:func:`~repro.fleet.fairness.jain_index`), fairness-vs-PullBW sweeps
+(:func:`~repro.fleet.sweep.fleet_sweep_figure`), a homogeneous-fleet
+parity harness validating the fleet against its aggregate-VC equivalent
+(:func:`~repro.fleet.sweep.fleet_parity_report`), and a metrics-registry
+adapter (:func:`~repro.fleet.metrics.bind_fleet_metrics`).
+
+See docs/FLEET.md for the model, its heterogeneity knobs, and scale
+limits.
+"""
+
+from repro.fleet.fairness import jain_index
+from repro.fleet.metrics import FleetMetricsAdapter, bind_fleet_metrics
+from repro.fleet.state import FleetState
+from repro.fleet.sweep import (
+    FAIRNESS_METRICS,
+    PAPER_PULL_BWS,
+    PARITY_PULL_BWS,
+    fleet_parity_report,
+    fleet_sweep_figure,
+)
+
+__all__ = [
+    "FleetState",
+    "FleetMetricsAdapter",
+    "bind_fleet_metrics",
+    "jain_index",
+    "FAIRNESS_METRICS",
+    "PAPER_PULL_BWS",
+    "PARITY_PULL_BWS",
+    "fleet_parity_report",
+    "fleet_sweep_figure",
+]

@@ -98,6 +98,7 @@ def config_from_dict(data: dict):
     from repro.core.algorithms import Algorithm
     from repro.core.config import (
         ClientConfig,
+        FleetConfig,
         RunConfig,
         ServerConfig,
         SystemConfig,
@@ -113,6 +114,9 @@ def config_from_dict(data: dict):
                                             data.get("client", {}))),
         server=ServerConfig(**server),
         run=RunConfig(**_known_fields(RunConfig, data.get("run", {}))),
+        # Pre-fleet manifests carry no "fleet" section; defaults apply.
+        fleet=FleetConfig(**_known_fields(FleetConfig,
+                                          data.get("fleet", {}))),
     )
 
 

@@ -126,6 +126,33 @@ class Histogram:
         else:
             self._tally.add_weighted(value, weight)
 
+    def observe_many(self, values) -> None:
+        """Record a batch of unweighted observations, vectorized.
+
+        Equivalent to calling :meth:`observe` once per value but O(batch)
+        in numpy: bucket indices via ``searchsorted`` (same left-bisect
+        convention as the scalar path) and the summary statistics folded
+        in as one batch-moment :meth:`~repro.sim.monitor.Tally.merge`
+        (exact Chan et al., so the mean/variance match the streamed
+        equivalent).  The per-user fleet statistics feed thousands to
+        millions of values per snapshot through this path.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        if not np.isfinite(arr).all():
+            raise ValueError("non-finite observation in batch")
+        indices = np.searchsorted(self.bounds, arr, side="left")
+        counts = self.counts
+        for index, count in zip(*np.unique(indices, return_counts=True)):
+            counts[int(index)] += int(count)
+        mean = float(arr.mean())
+        self._tally.merge(Tally.from_moments(
+            int(arr.size), mean, float(np.square(arr - mean).sum()),
+            float(arr.min()), float(arr.max())))
+
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's observations into this one.
 
@@ -226,6 +253,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value, weight=1) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
     def merge(self, other) -> None:

@@ -26,7 +26,14 @@ class Tally:
         self.max = -math.inf
 
     def add(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Non-finite values raise: a NaN would silently poison ``_mean`` /
+        ``_m2`` while the ``min``/``max`` comparisons stay false, leaving
+        an inconsistent snapshot long after the bad observation.
+        """
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite observation {value!r}")
         self.count += 1
         delta = value - self._mean
         self._mean += delta / self.count
@@ -50,7 +57,9 @@ class Tally:
         ``weight / count`` rounds differently and would break
         bit-identical unsampled runs.
         """
-        if weight <= 0:
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite observation {value!r}")
+        if not weight > 0:
             raise ValueError("weight must be positive")
         self.count += weight
         delta = value - self._mean
@@ -60,6 +69,32 @@ class Tally:
             self.min = value
         if value > self.max:
             self.max = value
+
+    @classmethod
+    def from_moments(cls, count: float, mean: float, m2: float,
+                     min_: float, max_: float) -> "Tally":
+        """A tally pre-loaded with batch moments (for vectorized feeds).
+
+        ``m2`` is the sum of squared deviations from ``mean`` (the Welford
+        accumulator), so batch producers can compute the moments with one
+        numpy pass and fold them in via :meth:`merge` — exact Chan et al.,
+        identical to having streamed every observation.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        tally = cls()
+        if count == 0:
+            return tally
+        for name, value in (("mean", mean), ("m2", m2),
+                            ("min", min_), ("max", max_)):
+            if not math.isfinite(value):
+                raise ValueError(f"non-finite batch {name} {value!r}")
+        tally.count = count
+        tally._mean = mean
+        tally._m2 = m2
+        tally.min = min_
+        tally.max = max_
+        return tally
 
     def merge(self, other: "Tally") -> None:
         """Fold another tally's observations into this one."""

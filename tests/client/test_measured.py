@@ -48,6 +48,34 @@ class TestWarmupTracker:
         assert tracker.crossing_times == {0.25: 3.0, 0.5: 3.0, 1.0: 3.0}
         assert tracker.complete
 
+    def test_reinsert_does_not_double_count(self):
+        """A target re-broadcast while already resident must not inflate
+        the warm fraction (it used to count every insert)."""
+        tracker = WarmupTracker(frozenset({0, 1}), levels=(0.5, 1.0))
+        tracker.on_insert(0, now=1.0)
+        tracker.on_insert(0, now=2.0)
+        assert tracker.fraction == pytest.approx(0.5)
+        assert not tracker.complete
+
+    def test_unmatched_evict_does_not_go_negative(self):
+        """Evicting a target that was never inserted is a no-op; the
+        fraction stays consistent afterwards."""
+        tracker = WarmupTracker(frozenset({0, 1}), levels=(0.5, 1.0))
+        tracker.on_evict(0)
+        assert tracker.fraction == 0.0
+        tracker.on_insert(0, now=1.0)
+        assert tracker.fraction == pytest.approx(0.5)
+
+    def test_evict_then_reinsert_round_trips(self):
+        tracker = WarmupTracker(frozenset({0, 1}), levels=(0.5, 1.0))
+        tracker.on_insert(0, now=1.0)
+        tracker.on_evict(0)
+        tracker.on_evict(0)  # double evict: already gone, ignored
+        assert tracker.fraction == 0.0
+        tracker.on_insert(0, now=2.0)
+        tracker.on_insert(1, now=3.0)
+        assert tracker.complete
+
 
 class TestMeasuredClient:
     def test_negative_think_time_rejected(self):
@@ -113,6 +141,7 @@ class TestMeasuredClient:
         client.record_pull_sent()
         client.reset_stats()
         assert client.hits == client.misses == client.pulls_sent == 0
+        assert client.accesses == 0
         assert client.response_all.count == 0
 
     def test_miss_rate(self):
@@ -122,3 +151,27 @@ class TestMeasuredClient:
         client.lookup(0, now=0.0)
         client.lookup(9, now=1.0)
         assert client.miss_rate == pytest.approx(0.5)
+
+
+class TestAccessCounterCoversMeasuredWindow:
+    """Regression: reset_stats used to leave ``accesses`` counting the
+    warm-up/settle lookups, so any ratio over it mixed phases."""
+
+    @pytest.mark.parametrize("engine_cls_name",
+                             ["FastEngine", "ReferenceEngine"])
+    def test_accesses_matches_measured_hits_plus_misses(self,
+                                                        engine_cls_name):
+        from repro.core.fast import FastEngine
+        from repro.core.simulation import ReferenceEngine
+        from tests.conftest import small_config
+
+        engine_cls = {"FastEngine": FastEngine,
+                      "ReferenceEngine": ReferenceEngine}[engine_cls_name]
+        config = small_config(run__settle_accesses=80,
+                              run__measure_accesses=150)
+        engine = engine_cls(config)
+        result = engine.run()
+        mc = engine.state.mc
+        # The warm-up -> measurement transition zeroed the counter, so it
+        # covers exactly the measured window in both engines.
+        assert mc.accesses == result.mc_hits + result.mc_misses == 150

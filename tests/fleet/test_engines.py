@@ -1,0 +1,76 @@
+"""The fleet as a third request source in both engines."""
+
+import pytest
+
+from repro.core.algorithms import Algorithm
+from repro.core.fast import FastEngine
+from repro.core.simulation import ReferenceEngine
+from tests.conftest import small_config
+
+
+def fleet_config(algorithm=Algorithm.IPP, **overrides):
+    """The 20-page system plus a 40-client fleet at aggregate load 0.25."""
+    return small_config(algorithm, fleet__num_clients=40,
+                        fleet__think_time=160.0, fleet__cache_size=5,
+                        **overrides)
+
+
+class TestFleetInEngines:
+    @pytest.mark.parametrize("engine_cls", [FastEngine, ReferenceEngine])
+    def test_run_result_carries_fleet_snapshot(self, engine_cls):
+        fleet = engine_cls(fleet_config()).run().fleet
+        assert fleet is not None
+        assert fleet["num_clients"] == 40
+        assert fleet["generated"] > 0
+        assert fleet["delivered"] > 0
+        assert fleet["offered"] > 0
+        assert fleet["mean_wait"] >= 0.0
+        assert 0.0 < fleet["jain_index"] <= 1.0
+
+    def test_without_fleet_result_field_is_none(self):
+        assert FastEngine(small_config()).run().fleet is None
+
+    def test_same_seed_repeats_exactly(self):
+        config = fleet_config()
+        assert FastEngine(config).run().fleet == FastEngine(config).run().fleet
+
+    def test_seed_change_varies_fleet_statistics(self):
+        first = FastEngine(fleet_config()).run().fleet
+        other = FastEngine(fleet_config(run__seed=99)).run().fleet
+        assert first != other
+
+    def test_fleet_disables_pure_push_analytic_shortcut(self):
+        """Pure Push normally takes the analytic path, which never ticks
+        individual slots; a fleet needs them, so the general loop runs."""
+        result = FastEngine(fleet_config(Algorithm.PURE_PUSH)).run()
+        assert result.fleet is not None
+        assert result.fleet["delivered"] > 0
+        # No backchannel: fleet pulls are discarded, never enqueued.
+        assert result.requests_enqueued == 0
+
+    @pytest.mark.parametrize("engine_cls", [FastEngine, ReferenceEngine])
+    def test_heterogeneous_fleet_runs(self, engine_cls):
+        config = fleet_config(fleet__think_time_spread=0.5,
+                              fleet__zipf_offset_spread=5,
+                              fleet__cache_size_spread=0.5)
+        fleet = engine_cls(config).run().fleet
+        assert fleet["users_measured"] > 0
+        assert 0.0 < fleet["jain_index"] <= 1.0
+
+    def test_fleet_counters_cover_only_the_measured_window(self):
+        """Doubling the measured window roughly doubles fleet activity —
+        the engine resets fleet accounting at the measure boundary."""
+        short = FastEngine(fleet_config(run__measure_accesses=150)).run()
+        long = FastEngine(fleet_config(run__measure_accesses=300)).run()
+        ratio = long.measured_slots / short.measured_slots
+        assert long.fleet["generated"] == pytest.approx(
+            short.fleet["generated"] * ratio, rel=0.35)
+
+    def test_generated_partitions_into_hits_and_misses(self):
+        result = FastEngine(fleet_config()).run()
+        fleet = result.fleet
+        misses = fleet["delivered"] + fleet["still_waiting"]
+        # Deliveries of requests issued before the measurement boundary
+        # can exceed the post-boundary miss count by at most the fleet
+        # size (each client has at most one outstanding request).
+        assert abs(fleet["generated"] - fleet["absorbed"] - misses) <= 40

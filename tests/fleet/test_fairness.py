@@ -1,0 +1,43 @@
+"""Unit tests for Jain's fairness index."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fleet import jain_index
+
+
+class TestJainIndex:
+    def test_empty_population_is_nan(self):
+        assert math.isnan(jain_index([]))
+
+    def test_equal_allocation_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_all_zero_is_perfectly_fair(self):
+        assert jain_index([0.0, 0.0, 0.0]) == 1.0
+
+    def test_single_user_dominating_approaches_one_over_n(self):
+        assert jain_index([7.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36.0 / 42.0)
+
+    def test_scale_invariant(self):
+        values = [1.0, 2.0, 5.0, 9.0]
+        scaled = [v * 1000.0 for v in values]
+        assert jain_index(values) == pytest.approx(jain_index(scaled))
+
+    def test_accepts_numpy_arrays(self):
+        assert jain_index(np.ones(100)) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -0.5])
+
+    def test_non_finite_rejected(self):
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                jain_index([1.0, bad])

@@ -1,0 +1,76 @@
+"""Fleet sweep figure and aggregate-parity harness at tiny scale."""
+
+import math
+
+import pytest
+
+from repro.core.fast import FastEngine
+from repro.experiments.base import Profile
+from repro.fleet import (
+    FAIRNESS_METRICS,
+    PAPER_PULL_BWS,
+    PARITY_PULL_BWS,
+    fleet_parity_report,
+    fleet_sweep_figure,
+)
+from tests.conftest import small_config
+
+TINY = Profile(settle_accesses=20, measure_accesses=60, replicates=2,
+               base_seed=3)
+
+
+class TestFairnessMetrics:
+    def test_metric_requires_fleet_statistics(self):
+        result = FastEngine(small_config()).run()
+        with pytest.raises(ValueError):
+            FAIRNESS_METRICS["mean user wait"](result)
+
+    def test_parity_grid_is_a_stable_subset_of_the_papers(self):
+        assert set(PARITY_PULL_BWS) < set(PAPER_PULL_BWS)
+        assert 0.30 not in PARITY_PULL_BWS  # the saturation-cliff point
+
+
+class TestFleetSweepFigure:
+    def test_tiny_sweep_produces_all_series(self):
+        figure = fleet_sweep_figure(TINY, num_clients=30,
+                                    pull_bws=(0.2, 0.5), think_time=120.0)
+        assert figure.figure_id == "fleet-pullbw"
+        assert [s.label for s in figure.series] == list(FAIRNESS_METRICS)
+        for series in figure.series:
+            assert series.x == [0.2, 0.5]
+            assert len(series.points) == 2
+        by_label = {s.label: s for s in figure.series}
+        assert all(math.isfinite(y) for y in by_label["mean user wait"].y)
+        assert all(0.0 < y <= 1.0 for y in by_label["jain index"].y)
+        assert figure.manifest is not None
+
+    def test_dispersion_brackets_the_mean(self):
+        figure = fleet_sweep_figure(TINY, num_clients=30,
+                                    pull_bws=(0.3,), think_time=120.0)
+        by_label = {s.label: s for s in figure.series}
+        low = by_label["min user wait"].y[0]
+        mean = by_label["mean user wait"].y[0]
+        high = by_label["max user wait"].y[0]
+        assert low <= mean <= high
+
+
+class TestFleetParityReport:
+    def test_tiny_parity_report_structure(self):
+        report = fleet_parity_report(TINY, num_clients=20,
+                                     pull_bws=(0.2, 0.5))
+        assert set(report) >= {
+            "num_clients", "fleet_think_time", "aggregate_response",
+            "fleet_response", "comparison", "rate_checks",
+            "worst_rate_error", "rate_ok", "ordering_ok", "exit_code"}
+        # Tiny runs are noisy; parity may drift (1) but must never be
+        # structurally broken (2).
+        assert report["exit_code"] in (0, 1)
+        assert len(report["aggregate_response"]) == 2
+        assert len(report["fleet_response"]) == 2
+        assert len(report["rate_checks"]) == 2 * TINY.replicates
+        for check in report["rate_checks"]:
+            assert check["observed_rate"] > 0.0
+            assert check["expected_rate"] > 0.0
+            assert check["relative_error"] >= 0.0
+        assert report["comparison"]["left"] == "aggregate-vc"
+        assert report["comparison"]["right"] == "homogeneous-fleet"

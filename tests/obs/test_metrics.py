@@ -46,6 +46,32 @@ class TestHistogram:
         assert snap["buckets"] == {"1.0": 2, "5.0": 2, "10.0": 2, "+inf": 1}
         assert snap["count"] == 7
 
+    def test_observe_many_matches_sequential_observes(self):
+        values = [0.5, 1.0, 1.1, 5.0, 9.9, 10.0, 11.0]
+        batched = Histogram("lat", buckets=(1, 5, 10))
+        batched.observe_many(values)
+        sequential = Histogram("lat", buckets=(1, 5, 10))
+        for value in values:
+            sequential.observe(value)
+        assert batched.snapshot()["buckets"] \
+            == sequential.snapshot()["buckets"]
+        assert batched.count == sequential.count
+        assert batched.mean == pytest.approx(sequential.mean)
+        assert batched.stddev == pytest.approx(sequential.stddev)
+        assert batched.quantile(0.5) == sequential.quantile(0.5)
+
+    def test_observe_many_empty_batch_is_noop(self):
+        hist = Histogram("lat", buckets=(1,))
+        hist.observe_many([])
+        assert hist.count == 0
+
+    def test_observe_many_rejects_non_finite_before_mutation(self):
+        hist = Histogram("lat", buckets=(1,))
+        hist.observe(0.5)
+        with pytest.raises(ValueError):
+            hist.observe_many([2.0, math.nan])
+        assert hist.count == 1  # the clean value did not slip in
+
     def test_summary_stats_match_tally(self):
         hist = Histogram("lat", buckets=(10,))
         values = [1.0, 2.0, 3.0, 4.0]

@@ -84,6 +84,78 @@ class TestTally:
         assert tally.count == 2
         assert tally.mean == 4.0
 
+    def test_non_finite_observation_rejected(self):
+        """NaN/inf must raise instead of silently poisoning the moments
+        while min/max comparisons stay false."""
+        tally = Tally()
+        tally.add(1.0)
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                tally.add(bad)
+            with pytest.raises(ValueError):
+                tally.add_weighted(bad, 2.0)
+        assert tally.count == 1  # nothing was absorbed
+        assert tally.mean == 1.0
+
+
+class TestFromMoments:
+    def test_matches_streamed_equivalent(self):
+        values = [2.0, 4.0, 4.5, 7.0, 9.0]
+        arr = np.asarray(values)
+        mean = float(arr.mean())
+        batch = Tally.from_moments(arr.size, mean,
+                                   float(np.square(arr - mean).sum()),
+                                   float(arr.min()), float(arr.max()))
+        streamed = Tally()
+        for value in values:
+            streamed.add(value)
+        assert batch.count == streamed.count
+        assert batch.mean == pytest.approx(streamed.mean)
+        assert batch.variance == pytest.approx(streamed.variance)
+        assert batch.min == streamed.min
+        assert batch.max == streamed.max
+
+    def test_zero_count_gives_empty_tally(self):
+        tally = Tally.from_moments(0, math.nan, math.nan,
+                                   math.nan, math.nan)
+        assert tally.count == 0
+        assert math.isnan(tally.mean)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Tally.from_moments(-1, 0.0, 0.0, 0.0, 0.0)
+
+    def test_non_finite_moments_rejected(self):
+        with pytest.raises(ValueError):
+            Tally.from_moments(3, math.nan, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Tally.from_moments(3, 0.0, math.inf, 0.0, 0.0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.lists(finite_floats, min_size=1, max_size=50))
+    def test_merge_of_clean_batches_matches_pooled_stream(self, first,
+                                                          second):
+        def batch(values):
+            arr = np.asarray(values, dtype=np.float64)
+            mean = float(arr.mean())
+            return Tally.from_moments(
+                arr.size, mean, float(np.square(arr - mean).sum()),
+                float(arr.min()), float(arr.max()))
+
+        merged = batch(first)
+        merged.merge(batch(second))
+        pooled = Tally()
+        for value in first + second:
+            pooled.add(value)
+        assert merged.count == pooled.count
+        assert merged.mean == pytest.approx(pooled.mean, rel=1e-9,
+                                            abs=1e-6)
+        if pooled.count > 1:
+            assert merged.variance == pytest.approx(pooled.variance,
+                                                    rel=1e-6, abs=1e-6)
+        assert merged.min == pooled.min
+        assert merged.max == pooled.max
+
 
 class TestTimeWeighted:
     def test_constant_signal(self):

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.obs",
     "repro.lint",
     "repro.net",
+    "repro.fleet",
 ]
 
 
