@@ -28,6 +28,11 @@ Subcommands:
   ``--parity`` instead validates a homogeneous fleet against its
   aggregate-VC equivalent through the compare harness (same exit-code
   contract; see docs/FLEET.md),
+- ``sched-sweep`` — sweep PullBW once per pull-queue discipline (FIFO /
+  RxW / LWF) with a client fleet attached, plotting mean response next
+  to the fleet wait tail (p99 / max) so the discipline choice's effect
+  under saturation is visible; emits compare-ready figure JSON (see
+  docs/SCHEDULERS.md),
 - ``convert`` — convert a trace between JSONL and columnar ``.npy``
   losslessly, in either direction,
 - ``profile`` — run the fast engine with phase timers and print the
@@ -56,6 +61,7 @@ from repro.core.config import SystemConfig
 from repro.core.fast import simulate
 from repro.experiments import ALL_FIGURES, FULL, QUICK, Profile, render_figure
 from repro.experiments.reporting import render_ascii_chart
+from repro.obs.events import SCHEDULER_DISCIPLINES
 
 __all__ = ["main", "build_parser"]
 
@@ -372,6 +378,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--parity-clients", type=int, default=200, metavar="N",
         help="(--parity) homogeneous fleet size (default: 200)")
+
+    sched = sub.add_parser(
+        "sched-sweep",
+        help="sweep PullBW once per pull-queue discipline (FIFO/RxW/LWF)")
+    sched.add_argument(
+        "--disciplines", default=",".join(SCHEDULER_DISCIPLINES),
+        metavar="LIST",
+        help="comma-separated disciplines to sweep "
+             f"(default: {','.join(SCHEDULER_DISCIPLINES)})")
+    sched.add_argument(
+        "--aging", type=float, default=1.0,
+        help="RxW aging exponent (default: 1.0; 0 = pure waiter count)")
+    sched.add_argument(
+        "--clients", type=int, default=2000,
+        help="fleet population per run (default: 2000)")
+    sched.add_argument(
+        "--full", action="store_true",
+        help="paper-scale runs (slow); default is the quick profile")
+    sched.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for the sweep")
+    sched.add_argument("--seed", type=int, default=42,
+                       help="base RNG seed")
+    sched.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the figure JSON to FILE")
+    sched.add_argument(
+        "--chart", action="store_true",
+        help="also plot the figure as an ASCII chart")
 
     convert = sub.add_parser(
         "convert", help="convert a trace between JSONL and columnar .npy")
@@ -793,6 +828,46 @@ def _cmd_fleet_sweep(args) -> int:
     return 0
 
 
+def _cmd_sched_sweep(args) -> int:
+    from repro.experiments.schedulers import (
+        discipline_summary,
+        render_summary,
+        sched_sweep_figure,
+    )
+
+    disciplines = tuple(d.strip() for d in args.disciplines.split(",")
+                        if d.strip())
+    unknown = [d for d in disciplines if d not in SCHEDULER_DISCIPLINES]
+    if not disciplines or unknown:
+        print(f"sched-sweep: unknown discipline(s) "
+              f"{', '.join(unknown) or '(none given)'} "
+              f"(choose from {', '.join(SCHEDULER_DISCIPLINES)})",
+              file=sys.stderr)
+        return 2
+    base = FULL if args.full else QUICK
+    profile = Profile(
+        settle_accesses=base.settle_accesses,
+        measure_accesses=base.measure_accesses,
+        replicates=base.replicates,
+        workers=args.workers if args.workers is not None else base.workers,
+        base_seed=args.seed,
+    )
+    figure = sched_sweep_figure(profile, disciplines=disciplines,
+                                aging=args.aging, num_clients=args.clients)
+    print(render_figure(figure))
+    summary = discipline_summary(figure)
+    print(f"\nat PullBW {figure.series[0].x[0]:g} (most saturated point):")
+    print(render_summary(summary))
+    if args.chart:
+        print()
+        print(render_ascii_chart(figure))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(figure.to_dict(), indent=2))
+        print(f"[figure JSON -> {args.json}]")
+    return 0
+
+
 def _cmd_convert(args) -> int:
     from repro.obs.columnar import columnar_to_jsonl, jsonl_to_columnar
 
@@ -1047,6 +1122,8 @@ def main(argv=None) -> int:
         return _cmd_compare(args)
     if args.command == "fleet-sweep":
         return _cmd_fleet_sweep(args)
+    if args.command == "sched-sweep":
+        return _cmd_sched_sweep(args)
     if args.command == "convert":
         return _cmd_convert(args)
     if args.command == "profile":

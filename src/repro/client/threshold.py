@@ -50,6 +50,17 @@ class ThresholdFilter:
         if self.schedule is not None:
             self.threshold_slots = thresh_perc * len(self.schedule)
 
+    def set_schedule(self, schedule: Schedule) -> None:
+        """Swap the push program (temperature-driven reprogramming).
+
+        Distances are measured against the new program from here on;
+        ``threshold_slots`` is recomputed in case the cycle length moved.
+        """
+        if self.schedule is None:
+            raise ValueError("cannot reprogram a filter with no program")
+        self.schedule = schedule
+        self.threshold_slots = self.thresh_perc * len(schedule)
+
     def passes(self, page: int, schedule_pos: int) -> bool:
         """True if a pull request for ``page`` should be sent.
 

@@ -47,6 +47,7 @@ class VirtualClient:
         self.rate = think_time_rate(mc_think_time, think_time_ratio)
         self.steady_set = steady_set
         self.threshold = threshold
+        self._db_size = int(probabilities.size)
         self._rng = rng
         sampler = ZipfSampler(probabilities, rng)
         self._stream = AccessStream(sampler, steady_state_perc, rng)
@@ -77,6 +78,19 @@ class VirtualClient:
     def set_threshold_slots(self, threshold_slots: float) -> None:
         """Retune the fast-path threshold (adaptive controller hook)."""
         self._threshold_slots = threshold_slots
+
+    def set_schedule(self, schedule) -> None:
+        """Rebuild the flat distance table after a program reprogram.
+
+        The cached table was derived from the schedule at construction;
+        a reprogrammed server must refresh it or the threshold filter
+        keeps judging distances against the dead program.
+        """
+        if self._dist_flat is None:
+            raise ValueError("this client applies no threshold filter")
+        table = schedule.distance_table(self._db_size)
+        self._cycle = table.shape[1]
+        self._dist_flat = table.ravel()
 
     def requests_for_slot(self, count: int,
                           schedule_pos: int) -> Iterator[int]:

@@ -26,13 +26,19 @@ from repro.client.threshold import ThresholdFilter
 from repro.client.virtual import VirtualClient
 from repro.core.config import SystemConfig
 from repro.server.broadcast_server import BroadcastServer
+from repro.server.schedulers import (
+    PullScheduler,
+    PushReprogrammer,
+    make_scheduler,
+)
 from repro.workload.noise import noisy_probabilities
 from repro.workload.zipf import zipf_probabilities
 
 if TYPE_CHECKING:
     from repro.fleet.state import FleetState
 
-__all__ = ["SystemState", "build_system", "build_push_program"]
+__all__ = ["SystemState", "build_system", "build_push_program",
+           "make_pull_scheduler"]
 
 
 @dataclass
@@ -58,6 +64,11 @@ class SystemState:
     #: Individually tracked client population, or None when
     #: ``config.fleet.num_clients`` is 0.
     fleet: Optional["FleetState"] = None
+    #: Temperature-driven push-program rebuilder, or None when
+    #: ``config.scheduler.reprogram_interval`` is 0.  Both engines poll
+    #: it every ``interval`` slots and apply the swap to the server and
+    #: every schedule-derived client table.
+    reprogrammer: Optional[PushReprogrammer] = None
 
 
 def build_push_program(config: SystemConfig,
@@ -77,6 +88,28 @@ def build_push_program(config: SystemConfig,
         assignment = chop_assignment(assignment, server.chop,
                                      vc_probabilities)
     return build_schedule(assignment)
+
+
+def make_pull_scheduler(config: SystemConfig) -> PullScheduler:
+    """The pull-queue discipline selected by ``config.scheduler``.
+
+    Temperature tracking is enabled only when reprogramming will consume
+    it, so the default path adds no per-offer bookkeeping.
+    """
+    sched = config.scheduler
+    return make_scheduler(sched.discipline, aging=sched.aging,
+                          track_temperature=sched.reprogram_interval > 0)
+
+
+def _make_reprogrammer(config: SystemConfig) -> Optional[PushReprogrammer]:
+    """The push-program rebuilder, when ``config.scheduler`` asks for one."""
+    sched = config.scheduler
+    if sched.reprogram_interval == 0:
+        return None
+    return PushReprogrammer(
+        config.server.db_size, config.server.disk_sizes,
+        config.server.rel_freqs, interval=sched.reprogram_interval,
+        min_requests=sched.reprogram_min_requests)
 
 
 def _make_policy(config: SystemConfig, mc_probs: np.ndarray,
@@ -125,7 +158,8 @@ def build_system(config: SystemConfig) -> SystemState:
 
     threshold = ThresholdFilter(schedule, config.thresh_perc)
     server = BroadcastServer(schedule, config.server.queue_size,
-                             config.pull_bw, mux_rng)
+                             config.pull_bw, mux_rng,
+                             scheduler=make_pull_scheduler(config))
     mc = MeasuredClient(mc_probs, cache, config.client.think_time, mc_rng,
                         warmup_target=warmup_target or None)
     vc = VirtualClient(
@@ -165,4 +199,5 @@ def build_system(config: SystemConfig) -> SystemState:
         steady_set=steady_set,
         warmup_target=warmup_target,
         fleet=fleet,
+        reprogrammer=_make_reprogrammer(config),
     )

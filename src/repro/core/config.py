@@ -15,6 +15,7 @@ from repro.core.algorithms import Algorithm
 __all__ = [
     "ClientConfig",
     "FleetConfig",
+    "SchedulerConfig",
     "ServerConfig",
     "RunConfig",
     "SystemConfig",
@@ -123,6 +124,39 @@ class FleetConfig:
 
 
 @dataclass(frozen=True)
+class SchedulerConfig:
+    """Pull-queue discipline and push-program reprogramming (beyond the
+    paper; §6's "more dynamic algorithms").
+
+    The default is the paper's configuration: FIFO service, no
+    reprogramming — bit-identical to the pre-scheduler engines.
+    """
+
+    #: Pull-queue service discipline; one of
+    #: :data:`repro.server.schedulers.DISCIPLINES`.
+    discipline: str = "fifo"
+    #: RxW aging exponent on the wait term (1.0 = classic R×W; toward 0
+    #: degenerates to most-requested-first, above 1 resists starvation).
+    aging: float = 1.0
+    #: Slots between temperature-driven push-program rebuild attempts
+    #: (0 disables reprogramming).
+    reprogram_interval: int = 0
+    #: Minimum newly observed backchannel demand (offers since the last
+    #: rebuild) before a rebuild actually happens.
+    reprogram_min_requests: int = 500
+
+    def __post_init__(self) -> None:
+        if self.discipline not in ("fifo", "rxw", "lwf"):
+            raise ValueError(f"unknown discipline {self.discipline!r}")
+        if self.aging < 0:
+            raise ValueError("aging must be non-negative")
+        if self.reprogram_interval < 0:
+            raise ValueError("reprogram_interval must be non-negative")
+        if self.reprogram_min_requests < 1:
+            raise ValueError("reprogram_min_requests must be positive")
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Table 2 — server parameters."""
 
@@ -205,6 +239,7 @@ class SystemConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     run: RunConfig = field(default_factory=RunConfig)
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
 
     def __post_init__(self) -> None:
         if (self.algorithm is Algorithm.PURE_PUSH
@@ -216,6 +251,18 @@ class SystemConfig:
             raise ValueError(
                 "the Offset transform requires cache_size to fit on the "
                 "slowest disk")
+        if self.scheduler.reprogram_interval > 0:
+            if not (self.algorithm.has_push_program
+                    and self.algorithm.uses_backchannel):
+                raise ValueError(
+                    "temperature reprogramming needs both a push program "
+                    "to rebuild and a backchannel to observe demand on "
+                    "(i.e. the interleaved algorithms)")
+            if self.server.chop > 0:
+                raise ValueError(
+                    "reprogramming rebuilds a full program and cannot be "
+                    "combined with chopping: re-adding a chopped page "
+                    "would strand clients waiting on the old safety net")
 
     # -- derived views --------------------------------------------------------
     @property
@@ -236,7 +283,7 @@ class SystemConfig:
         """
         top: dict = {}
         nested: dict[str, dict] = {"client": {}, "server": {}, "run": {},
-                                   "fleet": {}}
+                                   "fleet": {}, "scheduler": {}}
         for key, value in updates.items():
             if "__" in key:
                 section, field_name = key.split("__", 1)

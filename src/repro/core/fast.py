@@ -320,6 +320,14 @@ class FastEngine:
         controller = self.controller
         control_interval = (controller.policy.interval
                             if controller is not None else 0)
+        # Tail-wait feedback is opt-in (policy budget set + fleet present):
+        # a fleet snapshot per decision is cheap at interval granularity
+        # but not free at million-client scale.
+        control_tail = (controller is not None and fleet is not None
+                        and controller.policy.tail_wait_budget is not None)
+        reprogrammer = state.reprogrammer
+        reprogram_interval = (reprogrammer.interval
+                              if reprogrammer is not None else 0)
 
         # Observability hooks: both default to None, in which case the
         # loop pays one local-boolean test per phase and nothing else.
@@ -342,8 +350,19 @@ class FastEngine:
             if profiling:
                 _t0 = _pc()
             if controller is not None and t and t % control_interval == 0:
+                # Distinct offers (enqueued + dropped): duplicates carry
+                # no saturation signal (see BoundedRequestQueue.drop_rate).
+                push_wait = pull_wait = tail_wait = None
+                if rtracing:
+                    breakdown = rtracer.breakdown_stats
+                    push_wait = breakdown.push_wait
+                    pull_wait = breakdown.pull_wait
+                if control_tail and fleet is not None:
+                    tail_wait = fleet.snapshot()["user_wait_p99"]
                 pull_bw, thresh_perc = controller.decide(
-                    float(t), queue.offers, queue.dropped)
+                    float(t), queue.enqueued + queue.dropped, queue.dropped,
+                    push_wait=push_wait, pull_wait=pull_wait,
+                    tail_wait=tail_wait)
                 server.mux.pull_bw = pull_bw
                 threshold.set_thresh_perc(thresh_perc)
                 vc.set_threshold_slots(threshold.threshold_slots)
@@ -353,6 +372,19 @@ class FastEngine:
                     _now = _pc()
                     prof.control += _now - _t0
                     _t0 = _now
+            if reprogrammer is not None and t and t % reprogram_interval == 0:
+                new_schedule = reprogrammer.maybe_reprogram(
+                    t, queue.scheduler)
+                if new_schedule is not None:
+                    # Swap the program everywhere a distance table or
+                    # cursor was derived from the old one.
+                    server.set_schedule(new_schedule)
+                    threshold.set_schedule(new_schedule)
+                    vc.set_schedule(new_schedule)
+                    vc.set_threshold_slots(threshold.threshold_slots)
+                    if fleet is not None:
+                        fleet.set_schedule(new_schedule)
+                        fleet.set_threshold_slots(threshold.threshold_slots)
             if t >= max_slots:
                 raise SimulationStall(
                     f"run exceeded max_slots={max_slots} "

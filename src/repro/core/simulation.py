@@ -171,10 +171,32 @@ class ReferenceEngine:
 
         server = self.state.server
         fleet = self.state.fleet
+        vc = self.state.vc
+        threshold = self.state.mc_threshold
+        reprogrammer = self.state.reprogrammer
+        reprogram_interval = (reprogrammer.interval
+                              if reprogrammer is not None else 0)
         uses_backchannel = self.config.algorithm.uses_backchannel
         env = self.env
         tracer = self.tracer
+        slot = 0
         while True:
+            if (reprogrammer is not None and slot
+                    and slot % reprogram_interval == 0):
+                # Same poll cadence and swap set as the fast engine: the
+                # server's program plus every schedule-derived client
+                # table must follow the live program together.
+                new_schedule = reprogrammer.maybe_reprogram(
+                    slot, server.queue.scheduler)
+                if new_schedule is not None:
+                    server.set_schedule(new_schedule)
+                    threshold.set_schedule(new_schedule)
+                    vc.set_schedule(new_schedule)
+                    vc.set_threshold_slots(threshold.threshold_slots)
+                    if fleet is not None:
+                        fleet.set_schedule(new_schedule)
+                        fleet.set_threshold_slots(threshold.threshold_slots)
+            slot += 1
             if self._phase == "measure":
                 self._qlen_sum += len(server.queue)
                 self._qlen_slots += 1

@@ -42,6 +42,10 @@ from repro.experiments.experiment2 import figure_6
 from repro.experiments.experiment3 import figure_7, figure_8
 from repro.experiments.points import REPRESENTATIVE_POINTS, representative_config
 from repro.experiments.reporting import render_figure
+from repro.experiments.schedulers import (
+    discipline_summary,
+    sched_sweep_figure,
+)
 from repro.experiments.tracing import (
     TRACE_FORMATS,
     open_trace_sink,
@@ -88,6 +92,8 @@ __all__ = [
     "figure_7",
     "figure_8",
     "render_figure",
+    "sched_sweep_figure",
+    "discipline_summary",
     "ALL_FIGURES",
     "REPRESENTATIVE_POINTS",
     "representative_config",

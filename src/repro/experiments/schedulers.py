@@ -1,0 +1,146 @@
+"""Pull-scheduler discipline sweeps: FIFO vs RxW vs LWF across PullBW.
+
+The paper's server answers backchannel requests strictly first-come
+first-served; :mod:`repro.server.schedulers` generalizes that into a
+discipline zoo (FIFO / RxW / longest-wait-first).  This module measures
+what the choice buys: the same PullBW sweep the paper's Figure 3a runs,
+once per discipline, with a per-user client fleet attached so the tail
+of the *user* wait distribution — where request reordering actually
+matters — is visible next to the aggregate mean.
+
+Under saturation (low PullBW, long pull queue) FIFO serves pages in
+arrival order regardless of how many distinct users wait behind each
+page; RxW prioritizes pages with many waiters and long first-arrival
+waits, which trades a little mean response for a flatter per-user tail.
+Where the queue never builds depth, all disciplines collapse onto the
+same curve — the interesting comparisons are the leftmost grid points.
+
+Every discipline's series comes from its own runs (the discipline
+changes the simulation), but within a discipline the mean / p99 / max
+series share runs via
+:func:`~repro.experiments.base.sweep_series_multi`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.core.algorithms import Algorithm
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.experiments.base import (
+    FigureResult,
+    Profile,
+    sweep_series_multi,
+)
+from repro.fleet.sweep import PAPER_PULL_BWS, _fleet_stat
+from repro.obs.events import SCHEDULER_DISCIPLINES
+from repro.obs.manifest import sweep_manifest
+
+__all__ = [
+    "SCHED_METRICS",
+    "sched_sweep_figure",
+    "discipline_summary",
+    "render_summary",
+]
+
+
+def _mean_response(result: RunResult) -> float:
+    return float(result.response_miss.mean)
+
+
+#: The per-discipline series plotted per sweep point, from the same runs.
+SCHED_METRICS: Mapping[str, Callable[[RunResult], float]] = {
+    "mean response": _mean_response,
+    "fleet p99 wait": _fleet_stat("user_wait_p99"),
+    "fleet max wait": _fleet_stat("user_wait_max"),
+}
+
+
+def sched_sweep_figure(profile: Profile, *,
+                       disciplines: Sequence[str] = SCHEDULER_DISCIPLINES,
+                       aging: float = 1.0,
+                       num_clients: int = 2000,
+                       pull_bws: Sequence[float] = PAPER_PULL_BWS,
+                       think_time: Optional[float] = None) -> FigureResult:
+    """Sweep PullBW once per pull-queue discipline, fleet attached.
+
+    Args:
+        profile: run-scale knobs (``QUICK`` / ``FULL``).
+        disciplines: which disciplines to sweep (default: all of
+            :data:`repro.obs.events.SCHEDULER_DISCIPLINES`).
+        aging: RxW aging exponent (ignored by FIFO / LWF).
+        num_clients: fleet population per run.
+        pull_bws: the swept PullBW grid.
+        think_time: mean fleet think time; defaults to scaling with the
+            population so the fleet presents a ThinkTimeRatio-25
+            aggregate load regardless of ``num_clients``.
+
+    Returns a figure with ``len(disciplines) * len(SCHED_METRICS)``
+    series labelled ``"<discipline> <metric>"`` over the shared PullBW
+    x axis — compare-ready against any other run of this sweep.
+    """
+    base = SystemConfig(algorithm=Algorithm.IPP)
+    if think_time is None:
+        think_time = base.client.think_time * num_clients / 25.0
+    base = base.with_(
+        fleet__num_clients=num_clients,
+        fleet__think_time=think_time,
+        fleet__think_time_spread=0.5,
+        fleet__zipf_offset_spread=50,
+        fleet__cache_size_spread=0.5,
+    )
+    xs = [float(bw) for bw in pull_bws]
+    series = []
+    for disc in disciplines:
+        configs = [base.with_(scheduler__discipline=disc,
+                              scheduler__aging=aging,
+                              server__pull_bw=bw) for bw in xs]
+        metrics = {f"{disc} {name}": metric
+                   for name, metric in SCHED_METRICS.items()}
+        series.extend(sweep_series_multi(metrics, configs, xs, profile,
+                                         label=f"sched-{disc}"))
+    return FigureResult(
+        figure_id="sched-pullbw",
+        title=(f"Pull-discipline comparison vs PullBW, fleet of "
+               f"{num_clients} clients (IPP)"),
+        x_label="PullBW",
+        y_label="Response time / user wait (broadcast units)",
+        series=series,
+        notes=[
+            f"disciplines: {', '.join(disciplines)} (RxW aging {aging:g})",
+            f"fleet think time {think_time:g} broadcast units "
+            f"(aggregate load = ThinkTimeRatio "
+            f"{num_clients * base.client.think_time / think_time:g})",
+            "disciplines only diverge where the pull queue builds depth "
+            "(the saturated low-PullBW points)",
+        ],
+        manifest=sweep_manifest(profile),
+    )
+
+
+def discipline_summary(figure: FigureResult,
+                       point: int = 0) -> dict[str, dict[str, float]]:
+    """Per-discipline metric values at one grid point of the sweep.
+
+    ``point`` indexes the PullBW grid (0 = leftmost = most saturated).
+    Returns ``{discipline: {metric: value}}`` — the shape CI gates on
+    when asserting that RxW beats FIFO on the fleet tail under
+    saturation.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for series in figure.series:
+        disc, _, metric = series.label.partition(" ")
+        summary.setdefault(disc, {})[metric] = float(series.y[point])
+    return summary
+
+
+def render_summary(summary: Mapping[str, Mapping[str, Any]]) -> str:
+    """A small aligned table of :func:`discipline_summary` output."""
+    metrics = list(next(iter(summary.values()), {}))
+    width = max((len(m) for m in metrics), default=0)
+    lines = []
+    for disc, values in summary.items():
+        row = "  ".join(f"{m:>{width}}={values[m]:8.2f}" for m in metrics)
+        lines.append(f"  {disc:>6}  {row}")
+    return "\n".join(lines)

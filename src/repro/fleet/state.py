@@ -222,6 +222,19 @@ class FleetState:
         """Retune the fast-path threshold (adaptive controller hook)."""
         self._threshold_slots = threshold_slots
 
+    def set_schedule(self, schedule) -> None:
+        """Rebuild the flat distance table after a program reprogram.
+
+        Mirrors :meth:`repro.client.virtual.VirtualClient.set_schedule`:
+        the cached table is construction-time state and must follow the
+        live program or threshold checks judge the dead one.
+        """
+        if self._dist_flat is None:
+            raise ValueError("this fleet applies no threshold filter")
+        table = schedule.distance_table(self._db_size)
+        self._cycle = table.shape[1]
+        self._dist_flat = table.ravel()
+
     def reset_stats(self) -> None:
         """Zero the wait accumulators (measurement-phase boundary).
 

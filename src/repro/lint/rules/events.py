@@ -7,11 +7,12 @@ silently-empty trace diff.  Two rules close the gap:
 
 - **REP005** — ``obs/events.py`` is the single registry of event
   vocabularies.  The rule re-derives the enum values of ``SlotKind``
-  (``broadcast_server.py``) and ``Offer`` (``queue.py``) from their ASTs
-  and requires them to equal the registry tuples (the server layer cannot
-  import obs without a cycle, so the sync is machine-checked here
-  instead), and every string literal compared or assigned to a
-  ``kind`` / ``served_kind`` / ``on_air_kind`` / ``pull_outcome``
+  (``broadcast_server.py``) and ``Offer`` (``queue.py``) plus the plain
+  ``DISCIPLINES`` tuple (``schedulers.py``) from their ASTs and requires
+  them to equal the registry tuples (the server layer cannot import obs
+  without a cycle, so the sync is machine-checked here instead), and
+  every string literal compared or assigned to a ``kind`` /
+  ``served_kind`` / ``on_air_kind`` / ``pull_outcome`` / ``discipline``
   attribute anywhere in the tree must be a registry member.
 - **REP006** — the set of tracer hooks (``on_*`` observer methods)
   referenced by ``fast.py`` must equal the set referenced by
@@ -40,6 +41,13 @@ _ENUM_REGISTRY = {
     "Offer": ("queue.py", "OFFER_OUTCOMES"),
 }
 
+#: Plain module-level tuple -> (defining module basename, registry tuple
+#: name).  Same no-import sync discipline as the enums, for vocabularies
+#: that live as bare string tuples rather than enum classes.
+_TUPLE_REGISTRY = {
+    "DISCIPLINES": ("schedulers.py", "SCHEDULER_DISCIPLINES"),
+}
+
 #: Attribute names that carry event-name strings -> registry tuples that
 #: may legally supply their values.
 _KIND_ATTRIBUTES = {
@@ -47,6 +55,7 @@ _KIND_ATTRIBUTES = {
     "served_kind": ("SERVED_KINDS",),
     "on_air_kind": ("SLOT_KINDS",),
     "pull_outcome": ("OFFER_OUTCOMES",),
+    "discipline": ("SCHEDULER_DISCIPLINES",),
 }
 
 
@@ -77,6 +86,20 @@ def _registry_tuples(events: SourceFile) -> dict[str, tuple[str, ...]]:
     return registry
 
 
+def _assignment_line(source: SourceFile, name: str) -> int:
+    """Line of the module-level assignment to ``name`` (0 if absent)."""
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return node.lineno
+    return 0
+
+
 def _enum_values(source: SourceFile, class_name: str) -> Optional[
         tuple[tuple[str, ...], int]]:
     """String member values of an enum class, with its line number."""
@@ -100,9 +123,9 @@ class EventRegistryRule(ProjectRule):
 
     id = "REP005"
     name = "event-registry"
-    summary = ("SlotKind/Offer enum values must mirror obs/events.py, and "
-               "kind/served_kind/pull_outcome string literals must be "
-               "registry members")
+    summary = ("SlotKind/Offer enum values and the DISCIPLINES tuple must "
+               "mirror obs/events.py, and kind/served_kind/pull_outcome/"
+               "discipline string literals must be registry members")
     hint = ("add the name to repro/obs/events.py first, then use it; "
             "never invent an event-name string at the point of use")
 
@@ -145,7 +168,27 @@ class EventRegistryRule(ProjectRule):
                     f"enum {class_name} values {list(values)} drifted from "
                     f"registry {tuple_name} {list(expected)}")
 
-        # 2. Event-name literals used against kind-carrying attributes
+        # 2. Plain tuple vocabularies mirror the registry, in order.
+        for tuple_name, (basename, registry_name) in _TUPLE_REGISTRY.items():
+            source = project.named(basename)
+            if source is None or source.tree is None:
+                continue
+            local = _registry_tuples(source).get(tuple_name)
+            if local is None:
+                continue
+            expected = registry.get(registry_name)
+            if expected is None:
+                yield self.finding(
+                    events, 0,
+                    f"registry tuple {registry_name} missing from events.py "
+                    f"(needed by {basename}:{tuple_name})")
+            elif local != expected:
+                yield self.finding(
+                    source, _assignment_line(source, tuple_name),
+                    f"tuple {tuple_name} values {list(local)} drifted from "
+                    f"registry {registry_name} {list(expected)}")
+
+        # 3. Event-name literals used against kind-carrying attributes
         # must be registry members.
         for source in project.files:
             if source.tree is None or source is events:

@@ -18,7 +18,15 @@ is the single source of truth for those vocabularies:
 - :data:`ENGINE_NAMES` — engine identifiers stamped into run manifests,
 - :data:`TRACER_HOOKS` — the observer methods an engine may invoke on a
   slot / request tracer; the ``REP006`` rule requires both engines to
-  drive the identical hook set.
+  drive the identical hook set,
+- :data:`SCHEDULER_DISCIPLINES` — selectable pull-queue disciplines;
+  mirrors :data:`repro.server.schedulers.DISCIPLINES` (same REP005
+  no-import sync discipline as the enums) and is the vocabulary for the
+  ``discipline`` field wherever it crosses a serialization boundary
+  (config JSON, queue snapshots, figure labels),
+- :data:`SCHEDULER_DECISIONS` — the scheduler decision counters the
+  queue snapshot carries and the metrics registry mirrors as
+  ``<prefix>_sched_<name>_total`` instruments.
 
 Adding a new event name means adding it here first; the lint suite fails
 any engine or sink that invents a name on the side.
@@ -32,6 +40,8 @@ __all__ = [
     "SERVED_KINDS",
     "ENGINE_NAMES",
     "TRACER_HOOKS",
+    "SCHEDULER_DISCIPLINES",
+    "SCHEDULER_DECISIONS",
 ]
 
 #: What a broadcast slot carried (SlotKind enum values, in enum order).
@@ -61,3 +71,12 @@ TRACER_HOOKS: tuple[str, ...] = (
     "on_mc_request",
     "on_vc_request",
 )
+
+#: Pull-queue scheduling disciplines (``SchedulerConfig.discipline``
+#: values; mirrors ``repro.server.schedulers.DISCIPLINES``, REP005).
+SCHEDULER_DISCIPLINES: tuple[str, ...] = ("fifo", "rxw", "lwf")
+
+#: Scheduler decision counters mirrored into the metrics registry
+#: (``<prefix>_sched_<name>_total``): pull services granted, and those
+#: that did not take the FIFO head.
+SCHEDULER_DECISIONS: tuple[str, ...] = ("pops", "reordered")

@@ -20,6 +20,7 @@ jump as a reset (the post-reset value is the delta).
 
 from __future__ import annotations
 
+from repro.obs.events import SCHEDULER_DECISIONS
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ServerMetricsAdapter", "bind_server_metrics"]
@@ -34,8 +35,12 @@ class ServerMetricsAdapter:
     - ``<prefix>_requests_<outcome>_total`` — counter per queue outcome
       (enqueued / duplicates / dropped) plus ``served``,
     - ``<prefix>_queue_depth`` / ``<prefix>_queue_capacity`` — gauges,
-    - ``<prefix>_queue_drop_rate`` — gauge (fraction of offers dropped),
-    - ``<prefix>_schedule_pos`` — gauge (push-program cursor).
+    - ``<prefix>_queue_drop_rate`` — gauge (fraction of *distinct*
+      offers dropped; see ``BoundedRequestQueue.drop_rate``),
+    - ``<prefix>_schedule_pos`` — gauge (push-program cursor),
+    - ``<prefix>_sched_<decision>_total`` — counter per scheduler
+      decision kind (``repro.obs.events.SCHEDULER_DECISIONS``: pull
+      services granted / services taken out of FIFO order).
 
     Call :meth:`sync` whenever an up-to-date registry view is needed;
     each call is O(number of instruments) and touches nothing else.
@@ -55,6 +60,9 @@ class ServerMetricsAdapter:
         for outcome in ("enqueued", "duplicates", "dropped", "served"):
             registry.counter(f"{prefix}_requests_{outcome}_total",
                              f"backchannel requests {outcome}")
+        for decision in SCHEDULER_DECISIONS:
+            registry.counter(f"{prefix}_sched_{decision}_total",
+                             f"pull-scheduler decisions: {decision}")
         registry.gauge(f"{prefix}_queue_depth", "requests queued now")
         registry.gauge(f"{prefix}_queue_capacity", "queue capacity")
         registry.gauge(f"{prefix}_queue_drop_rate",
@@ -82,6 +90,9 @@ class ServerMetricsAdapter:
         queue = snapshot["queue"]
         for outcome in ("enqueued", "duplicates", "dropped", "served"):
             self._bump(f"{prefix}_requests_{outcome}_total", queue[outcome])
+        for decision in SCHEDULER_DECISIONS:
+            self._bump(f"{prefix}_sched_{decision}_total",
+                       queue["scheduler"][decision])
         self.registry.gauge(f"{prefix}_queue_depth").set(queue["depth"])
         self.registry.gauge(f"{prefix}_queue_capacity").set(
             queue["capacity"])

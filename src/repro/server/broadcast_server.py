@@ -17,6 +17,7 @@ import numpy as np
 from repro.broadcast.schedule import Schedule
 from repro.server.mux import PushPullMux
 from repro.server.queue import BoundedRequestQueue
+from repro.server.schedulers import PullScheduler
 
 __all__ = ["BroadcastServer", "SlotKind"]
 
@@ -43,20 +44,27 @@ class BroadcastServer:
     """Broadcast server: periodic program + bounded pull queue + MUX."""
 
     def __init__(self, schedule: Optional[Schedule], queue_size: int,
-                 pull_bw: float, rng: np.random.Generator):
+                 pull_bw: float, rng: np.random.Generator,
+                 scheduler: Optional[PullScheduler] = None):
         """Args:
             schedule: the push program, or None for Pure-Pull (which must
                 then use ``pull_bw = 1.0``).
             queue_size: backchannel queue capacity (``ServerQSize``).
             pull_bw: fraction of slots offered to pulls (``PullBW``).
             rng: seeded generator for the MUX coin.
+            scheduler: pull-queue service discipline (FIFO when omitted).
         """
         if schedule is None and pull_bw < 1.0:
             raise ValueError("a push program is required when pull_bw < 1")
         self.schedule = schedule
-        self.queue = BoundedRequestQueue(queue_size)
+        self.queue = BoundedRequestQueue(queue_size, scheduler)
         self.mux = PushPullMux(pull_bw, rng)
         self.schedule_pos = 0
+        #: Absolute slot clock: ticks emitted since construction.  Never
+        #: reset (unlike the statistics) — it stamps queue arrivals for
+        #: the scheduling disciplines, and waits must stay monotone
+        #: across measurement-phase boundaries.
+        self.ticks = 0
         # Slot accounting by kind.
         self.slot_counts: dict[SlotKind, int] = {kind: 0 for kind in SlotKind}
 
@@ -76,6 +84,8 @@ class BroadcastServer:
         carries a program entry (page or padding), so pull responses delay —
         rather than consume — the push schedule.
         """
+        self.ticks += 1
+        self.queue.now = self.ticks
         if self.mux.wants_pull() and len(self.queue) > 0:
             page = self.queue.pop()
             self.slot_counts[SlotKind.PULL] += 1
@@ -90,6 +100,19 @@ class BroadcastServer:
             return None, SlotKind.PADDING
         self.slot_counts[SlotKind.PUSH] += 1
         return page, SlotKind.PUSH
+
+    def set_schedule(self, schedule: Schedule) -> None:
+        """Swap the push program in place (temperature reprogramming).
+
+        The cursor is kept modulo the new cycle so the program keeps
+        rolling from an equivalent position; callers are responsible for
+        refreshing any client-side distance tables derived from the old
+        program (see :class:`~repro.server.schedulers.PushReprogrammer`).
+        """
+        if self.schedule is None:
+            raise ValueError("cannot reprogram a server with no push program")
+        self.schedule = schedule
+        self.schedule_pos %= len(schedule)
 
     def stats_snapshot(self) -> dict:
         """Point-in-time view of the server for observability tooling.

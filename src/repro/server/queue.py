@@ -1,16 +1,25 @@
 """The bounded backchannel request queue (Section 2.2 / 3.2).
 
-The server holds outstanding pull requests in a FIFO queue of capacity
+The server holds outstanding pull requests in a queue of capacity
 ``ServerQSize`` *distinct pages*.  An arriving request is dropped when the
 queue is full, and ignored when a request for the same page is already
 queued (the earlier broadcast will satisfy both — clients snoop on the
 frontchannel).  Clients get no feedback about either outcome.
+
+Arrival order is kept in a FIFO deque; *service* order is delegated to a
+:class:`~repro.server.schedulers.PullScheduler` discipline (the paper's
+FIFO by default — bit-identical to the historic hard-coded behaviour).
+The queue stamps every offer with :attr:`now`, the server's absolute
+slot clock, so disciplines can weigh waits without owning a clock.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
+from typing import Optional
+
+from repro.server.schedulers import FifoScheduler, PullScheduler
 
 __all__ = ["BoundedRequestQueue", "Offer"]
 
@@ -32,12 +41,17 @@ class Offer(enum.Enum):
 
 
 class BoundedRequestQueue:
-    """FIFO queue of distinct page requests with drop-on-full semantics."""
+    """Bounded queue of distinct page requests with drop-on-full semantics."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int,
+                 scheduler: Optional[PullScheduler] = None):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.scheduler: PullScheduler = (
+            scheduler if scheduler is not None else FifoScheduler())
+        #: The server's absolute slot clock; offers are stamped with it.
+        self.now = 0
         self._fifo: deque[int] = deque()
         self._queued: set[int] = set()
         # Cumulative accounting, one counter per Offer outcome.
@@ -59,30 +73,48 @@ class BoundedRequestQueue:
 
     @property
     def offers(self) -> int:
-        """Total requests presented to the queue."""
+        """Total requests presented to the queue (duplicates included)."""
         return self.enqueued + self.duplicates + self.dropped
 
     @property
-    def drop_rate(self) -> float:
-        """Fraction of offered requests dropped because the queue was full.
+    def distinct_offers(self) -> int:
+        """Offers that competed for queue capacity (``enqueued + dropped``).
 
-        Duplicates are excluded: a duplicated request is still satisfied by
-        the already-queued broadcast.
+        Duplicates are excluded: they neither take a slot nor can be
+        dropped, so they carry no information about saturation.
         """
-        offers = self.offers
-        return self.dropped / offers if offers else 0.0
+        return self.enqueued + self.dropped
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of *distinct* offers dropped because the queue was full.
+
+        Computed over ``enqueued + dropped``.  Duplicates are excluded
+        from the denominator as well as the numerator: a duplicated
+        request is satisfied by the already-queued broadcast regardless
+        of queue pressure, so counting it would dilute the saturation
+        signal the adaptive controller thresholds on — at high load most
+        offers for hot pages are duplicates, and the diluted rate could
+        sit under ``AdaptivePolicy.high_drop`` while every distinct
+        request was being dropped.
+        """
+        distinct = self.enqueued + self.dropped
+        return self.dropped / distinct if distinct else 0.0
 
     def offer(self, page: int) -> Offer:
         """Present a pull request; returns what happened to it."""
         if page in self._queued:
             self.duplicates += 1
+            self.scheduler.on_duplicate(page, self.now)
             return Offer.DUPLICATE
         if len(self._fifo) >= self.capacity:
             self.dropped += 1
+            self.scheduler.on_dropped(page, self.now)
             return Offer.DROPPED
         self._fifo.append(page)
         self._queued.add(page)
         self.enqueued += 1
+        self.scheduler.on_enqueued(page, self.now)
         return Offer.ENQUEUED
 
     def attach_observer(self, callback) -> None:
@@ -109,18 +141,34 @@ class BoundedRequestQueue:
         """Remove the observer installed by :meth:`attach_observer`."""
         self.__dict__.pop("offer", None)
 
+    def peek(self) -> Optional[int]:
+        """The page the discipline would serve next (None when empty)."""
+        if not self._fifo:
+            return None
+        return self.scheduler.select(self._fifo, self.now)
+
     def pop(self) -> int:
-        """Dequeue the oldest request for service (raises if empty)."""
-        page = self._fifo.popleft()
+        """Dequeue the discipline's pick for service (raises if empty)."""
+        scheduler = self.scheduler
+        fifo = self._fifo
+        page = scheduler.select(fifo, self.now)
+        scheduler.pops += 1
+        if page == fifo[0]:
+            fifo.popleft()
+        else:
+            fifo.remove(page)
+            scheduler.reordered += 1
         self._queued.remove(page)
         self.served += 1
+        scheduler.on_served(page, self.now)
         return page
 
     def snapshot(self) -> dict:
         """Point-in-time accounting view (depth plus cumulative counters).
 
         Plain-dict so tracers, the CLI, and the metrics registry can ship
-        it without holding a reference to the live queue.
+        it without holding a reference to the live queue.  ``drop_rate``
+        follows the distinct-offers definition (see :attr:`drop_rate`).
         """
         return {
             "depth": len(self._fifo),
@@ -130,14 +178,22 @@ class BoundedRequestQueue:
             "dropped": self.dropped,
             "served": self.served,
             "drop_rate": self.drop_rate,
+            "scheduler": {
+                "discipline": self.scheduler.name,
+                "pops": self.scheduler.pops,
+                "reordered": self.scheduler.reordered,
+            },
         }
 
     def reset_stats(self) -> None:
         """Zero the cumulative counters (queue contents are kept).
 
         Used when a run switches from the warm-up to the measured phase.
+        The scheduler's decision counters reset too; its temperature
+        accumulator does not (it is a demand signal, not a statistic).
         """
         self.enqueued = 0
         self.duplicates = 0
         self.dropped = 0
         self.served = 0
+        self.scheduler.reset_decisions()

@@ -25,13 +25,14 @@ class _FakeServer:
         self.slot_counts = {_PUSH: 0, _PULL: 0}
         self.queue = dict(enqueued=0, duplicates=0, dropped=0, served=0,
                           depth=0, capacity=10, drop_rate=0.0)
+        self.sched = dict(discipline="fifo", pops=0, reordered=0)
         self.schedule_pos = 0
 
     def stats_snapshot(self):
         return {
             "slots": {kind.value: count
                       for kind, count in self.slot_counts.items()},
-            "queue": dict(self.queue),
+            "queue": {**self.queue, "scheduler": dict(self.sched)},
             "schedule_pos": self.schedule_pos,
         }
 
@@ -48,7 +49,23 @@ class TestDeltaSync:
         # Eager creation: the full instrument set exists before traffic.
         assert snapshot["server_slots_push_total"]["value"] == 0
         assert snapshot["server_requests_served_total"]["value"] == 0
+        assert snapshot["server_sched_pops_total"]["value"] == 0
+        assert snapshot["server_sched_reordered_total"]["value"] == 0
         assert snapshot["server_queue_capacity"]["value"] == 10
+
+    def test_scheduler_decision_counters_sync(self):
+        registry = MetricsRegistry()
+        server = _FakeServer()
+        adapter = bind_server_metrics(registry, server)
+        server.sched["pops"] = 12
+        server.sched["reordered"] = 3
+        adapter.sync()
+        adapter.sync()  # no progress, no double count
+        assert _counter(registry, "server_sched_pops_total") == 12
+        assert _counter(registry, "server_sched_reordered_total") == 3
+        server.sched["pops"] = 2  # reset boundary
+        adapter.sync()
+        assert _counter(registry, "server_sched_pops_total") == 14
 
     def test_publishes_deltas_not_absolutes(self):
         registry = MetricsRegistry()

@@ -68,12 +68,20 @@ class TestAccounting:
         assert queue.served == 1
         assert queue.offers == 4
 
-    def test_drop_rate_excludes_duplicates_in_numerator_only(self):
+    def test_drop_rate_over_distinct_offers(self):
+        """Duplicates are excluded from both sides of the ratio: a dropped
+        request among one enqueued and any number of duplicates is a 50%
+        drop rate, however often the queued page is re-requested."""
         queue = BoundedRequestQueue(1)
         queue.offer(1)   # enqueued
         queue.offer(1)   # duplicate
         queue.offer(2)   # dropped
-        assert queue.drop_rate == pytest.approx(1 / 3)
+        assert queue.distinct_offers == 2
+        assert queue.drop_rate == pytest.approx(1 / 2)
+        # More duplicates must not dilute the rate.
+        queue.offer(1)
+        queue.offer(1)
+        assert queue.drop_rate == pytest.approx(1 / 2)
 
     def test_drop_rate_empty(self):
         assert BoundedRequestQueue(1).drop_rate == 0.0
